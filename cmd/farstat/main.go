@@ -1,0 +1,105 @@
+// Command farstat computes headline gender-gap statistics for a corpus
+// stored as CSV files (the synthgen/whpc -save format): overall and
+// per-conference female author ratio, per-role representation, and the
+// PC-vs-author gap. Use it to analyze corpora you assembled yourself.
+//
+// Usage:
+//
+//	farstat -dir DIR [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/report"
+)
+
+// summary is the machine-readable output of farstat -json.
+type summary struct {
+	Conferences int                `json:"conferences"`
+	Papers      int                `json:"papers"`
+	Researchers int                `json:"researchers"`
+	AuthorSlots int                `json:"author_slots"`
+	OverallFAR  float64            `json:"overall_far"`
+	PerConfFAR  map[string]float64 `json:"per_conference_far"`
+	PCRatio     float64            `json:"pc_women_ratio"`
+	PCvsAuthorP float64            `json:"pc_vs_author_p"`
+}
+
+func main() {
+	dir := flag.String("dir", "", "corpus directory (required)")
+	asJSON := flag.Bool("json", false, "emit JSON instead of text")
+	full := flag.Bool("full", false, "also print role, geography and sector breakdowns")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "farstat: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dir, *asJSON, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "farstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, asJSON, full bool) error {
+	study, err := repro.Load(dir)
+	if err != nil {
+		return err
+	}
+	d := study.Dataset()
+	far := study.FAR()
+	pc, err := study.PC()
+	if err != nil {
+		return err
+	}
+	s := summary{
+		Conferences: len(d.Conferences),
+		Papers:      len(d.Papers),
+		Researchers: len(d.Persons),
+		AuthorSlots: far.TotalSlots,
+		OverallFAR:  far.Overall.Ratio(),
+		PerConfFAR:  map[string]float64{},
+		PCRatio:     pc.Overall.Ratio(),
+		PCvsAuthorP: pc.VsAuthors.P,
+	}
+	for _, row := range far.PerConf {
+		s.PerConfFAR[string(row.Conf)] = row.Ratio.Ratio()
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	}
+	fmt.Printf("corpus: %d conferences, %d papers, %d researchers\n",
+		s.Conferences, s.Papers, s.Researchers)
+	fmt.Printf("female author ratio: %.2f%% over %d author slots\n",
+		100*s.OverallFAR, s.AuthorSlots)
+	for _, c := range d.Conferences {
+		id := dataset.ConfID(c.ID)
+		fmt.Printf("  %-10s %.2f%%\n", c.Name, 100*s.PerConfFAR[string(id)])
+	}
+	fmt.Printf("PC women ratio: %.2f%% (vs authors: p = %.4g)\n", 100*s.PCRatio, s.PCvsAuthorP)
+	if !full {
+		return nil
+	}
+	fmt.Println()
+	if err := report.Fig1(os.Stdout, d); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := report.Table2(os.Stdout, d); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := report.Table3(os.Stdout, d); err != nil {
+		return err
+	}
+	fmt.Println()
+	return report.Fig8(os.Stdout, d)
+}

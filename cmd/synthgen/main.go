@@ -1,0 +1,45 @@
+// Command synthgen emits the calibrated synthetic corpus as CSV files —
+// the analog of the paper's frozen-CSV artifact (github.com/eitanf/sysconf).
+//
+// Usage:
+//
+//	synthgen -out DIR [-seed N] [-flagship]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2021, "generator seed")
+	out := flag.String("out", "", "output directory for the CSV files (required)")
+	flagship := flag.Bool("flagship", false, "generate the SC/ISC 2016-2020 corpus instead of the 2017 one")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "synthgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var study *repro.Study
+	var err error
+	if *flagship {
+		study, err = repro.NewFlagshipStudy(*seed)
+	} else {
+		study, err = repro.NewStudy(*seed)
+	}
+	if err == nil {
+		err = study.Save(*out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+	d := study.Dataset()
+	fmt.Printf("wrote %s: %d conferences, %d papers, %d researchers\n",
+		*out, len(d.Conferences), len(d.Papers), len(d.Persons))
+}

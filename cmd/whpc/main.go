@@ -1,0 +1,71 @@
+// Command whpc reproduces the full SC '21 paper "Representation of Women
+// in HPC Conferences": it generates (or loads) a corpus and prints every
+// table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	whpc [-seed N] [-load DIR] [-save DIR] [-flagship]
+//
+// With -flagship the §3.4 SC/ISC 2016-2020 corpus is used instead of the
+// main nine-conference 2017 corpus. -save writes the corpus CSVs before
+// reporting; -load analyzes a previously saved corpus instead of
+// generating one.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2021, "generator seed (deterministic corpus per seed)")
+	load := flag.String("load", "", "load a saved corpus from this directory instead of generating")
+	save := flag.String("save", "", "save the corpus CSVs into this directory")
+	csvOut := flag.String("csv", "", "also export the exhibits as CSV files into this directory")
+	flagship := flag.Bool("flagship", false, "use the SC/ISC 2016-2020 flagship corpus (§3.4)")
+	extended := flag.Bool("extended", false, "use the extended all-systems-subfields corpus (future work)")
+	flag.Parse()
+
+	if err := run(*seed, *load, *save, *csvOut, *flagship, *extended); err != nil {
+		fmt.Fprintln(os.Stderr, "whpc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, load, save, csvOut string, flagship, extended bool) error {
+	var study *repro.Study
+	var err error
+	switch {
+	case load != "":
+		study, err = repro.Load(load)
+	case flagship:
+		study, err = repro.NewFlagshipStudy(seed)
+	case extended:
+		study, err = repro.NewExtendedStudy(seed)
+	default:
+		study, err = repro.NewStudy(seed)
+	}
+	if err != nil {
+		return err
+	}
+	if save != "" {
+		if err := study.Save(save); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "corpus saved to %s\n", save)
+	}
+	if csvOut != "" {
+		if err := report.ExportCSVs(csvOut, study.Dataset(), study.SCID()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "exhibit CSVs exported to %s\n", csvOut)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	return study.WriteReport(w)
+}

@@ -1,0 +1,42 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleNewStudy shows the one-call reproduction of the paper's corpus
+// shape: nine conferences, 518 papers, exactly as Table 1 reports.
+func ExampleNewStudy() {
+	study, err := repro.NewStudy(2021)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := study.Dataset()
+	fmt.Println(len(d.Conferences), "conferences,", len(d.Papers), "papers")
+	far := study.FAR()
+	fmt.Println("author slots:", far.TotalSlots)
+	// Output:
+	// 9 conferences, 518 papers
+	// author slots: 2111
+}
+
+// ExampleStudy_PC shows the §3.2 program-committee population sizes, which
+// the generator pins to the paper's totals.
+func ExampleStudy_PC() {
+	study, err := repro.NewStudy(2021)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc, err := study.PC()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PC slots:", pc.SlotsTotal)
+	fmt.Println("PC chairs:", pc.ChairsTotal)
+	// Output:
+	// PC slots: 1220
+	// PC chairs: 36
+}

@@ -1,0 +1,89 @@
+// Conference-report: a deep dive into a single conference (default SC),
+// showing how to combine the Study facade with direct dataset queries —
+// the workflow for asking questions the paper didn't.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "corpus seed")
+	name := flag.String("conf", "SC", "conference series name to report on")
+	flag.Parse()
+
+	study, err := repro.NewStudy(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := study.Dataset()
+
+	var conf *dataset.Conference
+	for _, c := range d.Conferences {
+		if c.Name == *name {
+			conf = c
+			break
+		}
+	}
+	if conf == nil {
+		log.Fatalf("no conference named %q in the corpus", *name)
+	}
+
+	fmt.Printf("%s %d (%s) — %d papers, acceptance %.1f%%\n",
+		conf.Name, conf.Year, conf.CountryCode, len(d.PapersOf(conf.ID)), 100*conf.AcceptanceRate)
+	fmt.Printf("policies: double-blind=%v diversity-chair=%v code-of-conduct=%v childcare=%v\n\n",
+		conf.DoubleBlind, conf.DiversityChair, conf.CodeOfConduct, conf.Childcare)
+
+	// Role-by-role representation for this conference, against the
+	// all-conference baseline (Fig 1, one column).
+	roles := study.Roles()
+	fmt.Println("Representation of women by role (this conference vs all):")
+	for _, role := range dataset.Roles() {
+		cell, ok := roles.Cell(conf.ID, role)
+		if !ok {
+			continue
+		}
+		overall := roles.Overall[role]
+		fmt.Printf("  %-14s %-18s (all conferences: %s)\n", role.String()+":", cell.Ratio, overall)
+	}
+
+	// Custom question: average author-list length and the share of papers
+	// with at least one woman coauthor.
+	papers := d.PapersOf(conf.ID)
+	totalAuthors, withWoman := 0, 0
+	for _, p := range papers {
+		totalAuthors += len(p.Authors)
+		gc := d.CountGenders(p.Authors)
+		if gc.Women > 0 {
+			withWoman++
+		}
+	}
+	fmt.Printf("\nAuthors per paper: %.2f\n", float64(totalAuthors)/float64(len(papers)))
+	fmt.Printf("Papers with at least one woman coauthor: %d/%d (%.1f%%)\n",
+		withWoman, len(papers), 100*float64(withWoman)/float64(len(papers)))
+
+	// Citation outcomes for this conference's papers by lead gender.
+	var fSum, fN, mSum, mN int
+	for _, p := range papers {
+		lead, ok := d.Person(p.Lead())
+		if !ok || !lead.Gender.Known() {
+			continue
+		}
+		if lead.Gender.String() == "female" {
+			fSum += p.Citations36
+			fN++
+		} else {
+			mSum += p.Citations36
+			mN++
+		}
+	}
+	if fN > 0 && mN > 0 {
+		fmt.Printf("Mean citations at 36 months: female-led %.1f (n=%d), male-led %.1f (n=%d)\n",
+			float64(fSum)/float64(fN), fN, float64(mSum)/float64(mN), mN)
+	}
+}

@@ -1,0 +1,104 @@
+// Custom-corpus: build a corpus for YOUR conference by hand through the
+// dataset API — including inferring researcher gender with the same
+// three-stage cascade the paper used and classifying affiliations into
+// country and sector — then run the paper's analyses over it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/affil"
+	"repro/internal/dataset"
+	"repro/internal/gender"
+)
+
+// roster is the raw data you would scrape from your conference site.
+var roster = []struct {
+	id          string
+	name        string
+	affiliation string
+	email       string
+	// evidence: did a manual web search find a pronoun page or photo?
+	pronounPage bool
+	photo       bool
+	truth       gender.Gender // what that evidence shows
+}{
+	{"p1", "Maria Santos", "University of Lisbon, Portugal", "maria.santos@tecnico-univ.pt", true, false, gender.Female},
+	{"p2", "John Keller", "Oak Ridge National Laboratory", "kellerj@ornl.gov", true, false, gender.Male},
+	{"p3", "Wei Zhang", "Tsinghua University, China", "wzhang@mail.tsinghua.edu.cn", false, false, gender.Male},
+	{"p4", "Priya Sharma", "IBM Research", "priya.sharma@us.ibm.com", false, true, gender.Female},
+	{"p5", "Erik Nielsen", "Technical University of Denmark", "erikn@dtu-univ.dk", true, false, gender.Male},
+	{"p6", "Jordan Casey", "Startup Labs Inc., United States", "jc@startup.io", false, false, gender.Male},
+}
+
+func main() {
+	d := dataset.New()
+	cascade := gender.Cascade{Automated: gender.BankGenderizer{}}
+
+	for _, r := range roster {
+		cls := affil.Classify(r.affiliation, r.email)
+		ev := gender.WebEvidence{HasPronounPage: r.pronounPage, HasPhoto: r.photo}
+		asg := cascade.Assign(r.truth, ev, gender.Forename(r.name), cls.CountryCode, nil)
+		p := &dataset.Person{
+			ID:           dataset.PersonID(r.id),
+			Name:         r.name,
+			Forename:     gender.Forename(r.name),
+			TrueGender:   r.truth,
+			Gender:       asg.Gender,
+			AssignMethod: asg.Method,
+			Email:        r.email,
+			Affiliation:  r.affiliation,
+			CountryCode:  cls.CountryCode,
+			Sector:       cls.Sector,
+		}
+		if err := d.AddPerson(p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s -> gender %-8s (via %-9s)  country %-3s sector %s\n",
+			r.name, asg.Gender, asg.Method, orDash(cls.CountryCode), cls.Sector)
+	}
+
+	conf := &dataset.Conference{
+		ID: "MYCONF24", Name: "MyConf", Year: 2024,
+		Date:           time.Date(2024, time.September, 9, 0, 0, 0, 0, time.UTC),
+		CountryCode:    "PT",
+		Submitted:      40,
+		AcceptanceRate: 0.25,
+		PCChairs:       []dataset.PersonID{"p2"},
+		PCMembers:      []dataset.PersonID{"p1", "p2", "p5"},
+	}
+	if err := d.AddConference(conf); err != nil {
+		log.Fatal(err)
+	}
+	papers := []*dataset.Paper{
+		{ID: "m1", Conf: "MYCONF24", Title: "Scalable Things", Authors: []dataset.PersonID{"p1", "p3", "p2"}, HPCTopic: true, Citations36: 14},
+		{ID: "m2", Conf: "MYCONF24", Title: "Faster Things", Authors: []dataset.PersonID{"p4", "p6"}, HPCTopic: true, Citations36: 3},
+		{ID: "m3", Conf: "MYCONF24", Title: "Other Things", Authors: []dataset.PersonID{"p5", "p6"}, Citations36: 7},
+	}
+	for _, p := range papers {
+		if err := d.AddPaper(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	study, err := repro.FromDataset(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	far := study.FAR()
+	fmt.Printf("\nMyConf FAR: %s over %d author slots\n", far.Overall, far.TotalSlots)
+	roles := study.Roles()
+	if cell, ok := roles.Cell("MYCONF24", dataset.RolePCMember); ok {
+		fmt.Printf("MyConf PC:  %s\n", cell.Ratio)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}

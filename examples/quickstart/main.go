@@ -1,0 +1,49 @@
+// Quickstart: generate the paper's 2017 corpus and print the headline
+// findings — the 60-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A Study wraps a deterministic synthetic corpus calibrated to the
+	// paper's published marginals. Same seed, same corpus.
+	study, err := repro.NewStudy(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	far := study.FAR()
+	fmt.Printf("Corpus: %d author slots, %d unique coauthors\n", far.TotalSlots, far.UniqueN)
+	fmt.Printf("Female author ratio (FAR): %s  — the paper's headline ~10%%\n\n", far.Overall)
+
+	fmt.Println("Per conference:")
+	for _, row := range far.PerConf {
+		fmt.Printf("  %-8s %s\n", row.Name, row.Ratio)
+	}
+
+	pc, err := study.PC()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPC members: %s women — roughly double the author ratio (%s)\n",
+		pc.Overall, pc.VsAuthors)
+
+	blind, err := study.BlindReview()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDouble-blind venues (SC, ISC): FAR %s vs single-blind %s\n",
+		blind.DoubleBlind, blind.SingleBlind)
+
+	bands, err := study.Bands()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNovice authors (h-index < 13): women %s vs men %s — %s\n",
+		bands.NoviceFemale, bands.NoviceMale, bands.NoviceTest)
+}

@@ -1,0 +1,193 @@
+// Package affil classifies researcher affiliations into a country of
+// residence and a work sector, reproducing the paper's methodology: "We
+// also looked up each author's affiliation institute ... using hand-coded
+// regular expressions" and "Many authors also included their email address
+// in the full text of the paper, from which we inferred more timely
+// affiliation and country information".
+//
+// Sector follows the paper's three-way coding: EDU (academia), COM
+// (industry), GOV (government and national labs).
+package affil
+
+import (
+	"regexp"
+	"strings"
+
+	"repro/internal/countries"
+)
+
+// Sector is the paper's three-way work-sector coding, plus Unknown for
+// affiliations that match no rule.
+type Sector int
+
+const (
+	SectorUnknown Sector = iota
+	EDU                  // academia
+	COM                  // industry
+	GOV                  // government and national labs
+)
+
+// String returns the paper's sector code.
+func (s Sector) String() string {
+	switch s {
+	case EDU:
+		return "EDU"
+	case COM:
+		return "COM"
+	case GOV:
+		return "GOV"
+	default:
+		return "UNK"
+	}
+}
+
+// ParseSector converts the paper's sector code back to a Sector.
+func ParseSector(s string) Sector {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "EDU":
+		return EDU
+	case "COM":
+		return COM
+	case "GOV":
+		return GOV
+	default:
+		return SectorUnknown
+	}
+}
+
+// The rule order matters: national labs often carry "Laboratory" AND a
+// university partnership in their names, and the paper codes them GOV, so
+// government rules are checked before academic ones.
+var (
+	govPattern = regexp.MustCompile(`(?i)\b(national lab(oratory)?|` +
+		`national cent(er|re)|` +
+		`(lawrence livermore|oak ridge|argonne|los alamos|sandia|` +
+		`pacific northwest|brookhaven|lawrence berkeley|jet propulsion)\b.*` +
+		`|nasa|nist|department of (energy|defense)|army research|` +
+		`naval research|air force research|riken|cnrs|inria|cea\b|` +
+		`fraunhofer|max planck|helmholtz|forschungszentrum|csiro|` +
+		`barcelona supercomputing|j[uü]lich supercomputing|leibniz supercomputing|` +
+		`supercomput(er|ing) cent(er|re)|research council|` +
+		`academy of sciences|kisti|nchc)`)
+	eduPattern = regexp.MustCompile(`(?i)\b(universit(y|e|é|at|ät|a|eit)|` +
+		`college|institute of technology|polytech|politecnico|` +
+		`[ée]cole|eth\b|epfl|tu\b|iit\b|school of|grad(uate)? school|` +
+		`hochschule|universidad|universidade|università)`)
+	// Company names carry word boundaries on both sides: "intel" without
+	// them matches "Artificial Intelligence Laboratory".
+	comPattern = regexp.MustCompile(`(?i)\b(inc\.?\b|corp(oration)?\b|ltd\.?\b|` +
+		`llc\b|gmbh\b|co\.\b|labs?\b.*(inc|corp)|technologies|systems\b|` +
+		`(ibm|intel|nvidia|microsoft|google|amazon|facebook|oracle|cray|` +
+		`huawei|samsung|fujitsu|nec|hewlett.packard|hpe|amd|arm|` +
+		`bull|atos|alibaba|baidu|tencent)\b|tata consultancy)`)
+
+	// govDomains: email domains whose sector is government regardless of
+	// the affiliation text.
+	govDomainPattern = regexp.MustCompile(`(?i)(\.gov$|\.mil$|` +
+		`^(.*\.)?(cern\.ch|riken\.jp|inria\.fr|cnrs\.fr|cea\.fr|` +
+		`fz-juelich\.de|mpg\.de|bsc\.es|csiro\.au|dkrz\.de)$)`)
+	eduDomainPattern = regexp.MustCompile(`(?i)(\.edu$|\.edu\.[a-z]{2}$|\.ac\.[a-z]{2}$|` +
+		`^(.*\.)?(ethz\.ch|epfl\.ch|u-tokyo\.ac\.jp)$)`)
+	comDomainPattern = regexp.MustCompile(`(?i)^(.*\.)?(ibm|intel|nvidia|microsoft|google|` +
+		`amazon|facebook|oracle|cray|huawei|samsung|fujitsu|nec|hpe|hp|amd|arm|` +
+		`atos|alibaba-inc|baidu|tencent|tcs)\.(com|net)$`)
+)
+
+// Classification is the combined country + sector result for one
+// researcher, with the evidence source recorded for auditability.
+type Classification struct {
+	CountryCode string // ISO alpha-2, "" if unknown
+	Sector      Sector
+	// Source records which signal determined the country: "email",
+	// "affiliation", or "" when unknown.
+	Source string
+}
+
+// Classify determines country and sector from an affiliation string and an
+// optional email address. Email wins for country (the paper calls it "more
+// timely" than profile affiliations); affiliation text wins for sector,
+// with the email domain as fallback.
+func Classify(affiliation, email string) Classification {
+	var c Classification
+	if cc, ok := countries.FromEmail(email); ok {
+		c.CountryCode = cc
+		c.Source = "email"
+	} else if cc, ok := countryFromAffiliation(affiliation); ok {
+		c.CountryCode = cc
+		c.Source = "affiliation"
+	}
+	c.Sector = SectorFromAffiliation(affiliation)
+	if c.Sector == SectorUnknown {
+		c.Sector = sectorFromEmail(email)
+	}
+	return c
+}
+
+// SectorFromAffiliation classifies an affiliation string into a sector
+// using the hand-coded rules. Government rules run first (see comment on
+// the patterns), then industry, then academia.
+func SectorFromAffiliation(affiliation string) Sector {
+	a := strings.TrimSpace(affiliation)
+	if a == "" {
+		return SectorUnknown
+	}
+	switch {
+	case govPattern.MatchString(a):
+		return GOV
+	case comPattern.MatchString(a):
+		return COM
+	case eduPattern.MatchString(a):
+		return EDU
+	default:
+		return SectorUnknown
+	}
+}
+
+func sectorFromEmail(email string) Sector {
+	at := strings.LastIndexByte(email, '@')
+	if at < 0 || at == len(email)-1 {
+		return SectorUnknown
+	}
+	domain := strings.ToLower(email[at+1:])
+	switch {
+	case govDomainPattern.MatchString(domain):
+		return GOV
+	case comDomainPattern.MatchString(domain):
+		return COM
+	case eduDomainPattern.MatchString(domain):
+		return EDU
+	default:
+		return SectorUnknown
+	}
+}
+
+// countryFromAffiliation scans the affiliation text for a country name
+// (longest names first so "United States" is not shadowed).
+func countryFromAffiliation(affiliation string) (string, bool) {
+	a := strings.ToLower(affiliation)
+	if a == "" {
+		return "", false
+	}
+	best := ""
+	bestLen := 0
+	for _, c := range countries.All() {
+		name := strings.ToLower(c.Name)
+		if len(name) > bestLen && strings.Contains(a, name) {
+			best = c.CCA2
+			bestLen = len(name)
+		}
+	}
+	// Common aliases the table does not carry as primary names.
+	if best == "" {
+		switch {
+		case strings.Contains(a, "usa") || strings.Contains(a, "u.s.a") ||
+			strings.Contains(a, "united states of america"):
+			best = "US"
+		case strings.Contains(a, "uk") || strings.Contains(a, "great britain"):
+			best = "GB"
+		case strings.Contains(a, "korea"):
+			best = "KR"
+		}
+	}
+	return best, best != ""
+}

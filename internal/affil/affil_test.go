@@ -1,0 +1,158 @@
+package affil
+
+import "testing"
+
+func TestSectorString(t *testing.T) {
+	cases := []struct {
+		s    Sector
+		want string
+	}{
+		{EDU, "EDU"}, {COM, "COM"}, {GOV, "GOV"}, {SectorUnknown, "UNK"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestParseSector(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Sector
+	}{
+		{"EDU", EDU}, {"edu", EDU}, {" Com ", COM}, {"GOV", GOV},
+		{"", SectorUnknown}, {"bogus", SectorUnknown}, {"UNK", SectorUnknown},
+	}
+	for _, c := range cases {
+		if got := ParseSector(c.in); got != c.want {
+			t.Errorf("ParseSector(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Round-trip for the three real sectors.
+	for _, s := range []Sector{EDU, COM, GOV} {
+		if got := ParseSector(s.String()); got != s {
+			t.Errorf("round-trip %v -> %v", s, got)
+		}
+	}
+}
+
+func TestSectorFromAffiliation(t *testing.T) {
+	cases := []struct {
+		affil string
+		want  Sector
+	}{
+		// Academia.
+		{"Reed College", EDU},
+		{"University of Edinburgh", EDU},
+		{"Universidad Politécnica de Madrid", EDU},
+		{"Tsinghua University", EDU},
+		{"Massachusetts Institute of Technology", EDU},
+		{"École Polytechnique Fédérale de Lausanne", EDU},
+		{"Indian Institute of Technology Bombay", EDU},
+		// Industry.
+		{"IBM Research", COM},
+		{"Intel Corporation", COM},
+		{"NVIDIA", COM},
+		{"Cray Inc.", COM},
+		{"Huawei Technologies", COM},
+		{"ParTec GmbH", COM},
+		{"Acme Ltd.", COM},
+		// Government / national labs — including the lab+university trap.
+		{"Oak Ridge National Laboratory", GOV},
+		{"Lawrence Livermore National Laboratory", GOV},
+		{"Argonne National Laboratory and University of Chicago", GOV},
+		{"NASA Ames Research Center", GOV},
+		{"Barcelona Supercomputing Center", GOV},
+		{"Jülich Supercomputing Centre", GOV},
+		{"RIKEN Center for Computational Science", GOV},
+		{"Max Planck Institute", GOV},
+		{"Chinese Academy of Sciences", GOV},
+		// Unknown.
+		{"", SectorUnknown},
+		{"Independent Researcher", SectorUnknown},
+	}
+	for _, c := range cases {
+		if got := SectorFromAffiliation(c.affil); got != c.want {
+			t.Errorf("SectorFromAffiliation(%q) = %v, want %v", c.affil, got, c.want)
+		}
+	}
+}
+
+func TestClassifyEmailWinsForCountry(t *testing.T) {
+	// Affiliation says Germany; email says Switzerland — the paper treats
+	// the email as the more timely signal.
+	c := Classify("Technische Universität München, Germany", "alice@inf.ethz.ch")
+	if c.CountryCode != "CH" {
+		t.Errorf("country = %q, want CH (email wins)", c.CountryCode)
+	}
+	if c.Source != "email" {
+		t.Errorf("source = %q, want email", c.Source)
+	}
+	if c.Sector != EDU {
+		t.Errorf("sector = %v, want EDU from affiliation text", c.Sector)
+	}
+}
+
+func TestClassifyAffiliationFallback(t *testing.T) {
+	c := Classify("University of Tokyo, Japan", "bob@gmail.com")
+	if c.CountryCode != "JP" || c.Source != "affiliation" {
+		t.Errorf("got (%q, %q), want (JP, affiliation)", c.CountryCode, c.Source)
+	}
+}
+
+func TestClassifySectorEmailFallback(t *testing.T) {
+	// No sector keywords in the affiliation; the .gov domain decides.
+	c := Classify("CCS-3", "carol@lanl.gov")
+	if c.Sector != GOV {
+		t.Errorf("sector = %v, want GOV from email", c.Sector)
+	}
+	if c.CountryCode != "US" {
+		t.Errorf("country = %q, want US", c.CountryCode)
+	}
+	c = Classify("T.J. Watson", "dan@us.ibm.com")
+	if c.Sector != COM {
+		t.Errorf("sector = %v, want COM from email", c.Sector)
+	}
+	c = Classify("", "erin@cs.cmu.edu")
+	if c.Sector != EDU {
+		t.Errorf("sector = %v, want EDU from email", c.Sector)
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	c := Classify("", "")
+	if c.CountryCode != "" || c.Sector != SectorUnknown || c.Source != "" {
+		t.Errorf("empty inputs should classify as unknown, got %+v", c)
+	}
+}
+
+func TestCountryFromAffiliationAliases(t *testing.T) {
+	cases := []struct {
+		affil string
+		want  string
+	}{
+		{"Carnegie Mellon University, USA", "US"},
+		{"Imperial College London, UK", "GB"},
+		{"KAIST, Korea", "KR"},
+		{"ETH Zurich, Switzerland", "CH"},
+		{"Unknown Institute, Atlantis", ""},
+	}
+	for _, c := range cases {
+		got, _ := countryFromAffiliation(c.affil)
+		if got != c.want {
+			t.Errorf("countryFromAffiliation(%q) = %q, want %q", c.affil, got, c.want)
+		}
+	}
+}
+
+func TestLongestCountryNameWins(t *testing.T) {
+	// "United Arab Emirates" contains no other country name, but "Papua
+	// New Guinea"-style substring traps exist: "Niger"/"Nigeria". Our
+	// table has Nigeria; assert the longer match is chosen when both could
+	// hit via substring.
+	got, ok := countryFromAffiliation("Masdar Institute, United Arab Emirates")
+	if !ok || got != "AE" {
+		t.Errorf("got (%q, %v), want (AE, true)", got, ok)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// ConferenceProfile is the one-stop summary of a single conference: its
+// policies, population sizes, and women's representation in every role —
+// the per-venue view that Fig 1's columns slice.
+type ConferenceProfile struct {
+	Conf           dataset.ConfID
+	Name           string
+	Year           int
+	Subfield       string
+	CountryCode    string
+	Papers         int
+	AuthorSlots    int
+	UniqueAuthors  int
+	AcceptanceRate float64
+
+	DoubleBlind    bool
+	DiversityChair bool
+	CodeOfConduct  bool
+	Childcare      bool
+
+	FAR           stats.Proportion
+	LeadFAR       stats.Proportion
+	LastFAR       stats.Proportion
+	PC            stats.Proportion
+	PCChairs      stats.Proportion
+	Keynotes      stats.Proportion
+	Panelists     stats.Proportion
+	SessionChairs stats.Proportion
+
+	// MeanTeamSize is the average author-list length.
+	MeanTeamSize float64
+	// PapersWithWomen is the share of papers with >= 1 woman coauthor.
+	PapersWithWomen stats.Proportion
+	// MeanCitations is the average 36-month citation count.
+	MeanCitations float64
+}
+
+// ProfileConference assembles the profile for one conference.
+func ProfileConference(d *dataset.Dataset, id dataset.ConfID) (ConferenceProfile, error) {
+	c, ok := d.Conference(id)
+	if !ok {
+		return ConferenceProfile{}, fmt.Errorf("core: no conference %q", id)
+	}
+	papers := d.PapersOf(id)
+	p := ConferenceProfile{
+		Conf:           c.ID,
+		Name:           c.Name,
+		Year:           c.Year,
+		Subfield:       c.Subfield,
+		CountryCode:    c.CountryCode,
+		Papers:         len(papers),
+		AuthorSlots:    len(d.AuthorSlots(id)),
+		UniqueAuthors:  len(d.UniqueAuthors(id)),
+		AcceptanceRate: c.AcceptanceRate,
+		DoubleBlind:    c.DoubleBlind,
+		DiversityChair: c.DiversityChair,
+		CodeOfConduct:  c.CodeOfConduct,
+		Childcare:      c.Childcare,
+		FAR:            proportionOf(d.CountGenders(d.AuthorSlots(id))),
+		LeadFAR:        proportionOf(d.CountGenders(d.LeadAuthors(id))),
+		LastFAR:        proportionOf(d.CountGenders(d.LastAuthors(id))),
+		PC:             proportionOf(d.CountGenders(c.PCMembers)),
+		PCChairs:       proportionOf(d.CountGenders(c.PCChairs)),
+		Keynotes:       proportionOf(d.CountGenders(c.Keynotes)),
+		Panelists:      proportionOf(d.CountGenders(c.Panelists)),
+		SessionChairs:  proportionOf(d.CountGenders(c.SessionChairs)),
+	}
+	var slots, cites int
+	for _, paper := range papers {
+		slots += len(paper.Authors)
+		cites += paper.Citations36
+		gc := d.CountGenders(paper.Authors)
+		p.PapersWithWomen.N++
+		if gc.Women > 0 {
+			p.PapersWithWomen.K++
+		}
+	}
+	if len(papers) > 0 {
+		p.MeanTeamSize = float64(slots) / float64(len(papers))
+		p.MeanCitations = float64(cites) / float64(len(papers))
+	}
+	return p, nil
+}
+
+// ProfileAll returns profiles for every conference, in dataset order.
+func ProfileAll(d *dataset.Dataset) ([]ConferenceProfile, error) {
+	out := make([]ConferenceProfile, 0, len(d.Conferences))
+	for _, c := range d.Conferences {
+		p, err := ProfileConference(d, c.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+var errTest = errors.New("factory failure")
+
+func TestProfileConferenceSC(t *testing.T) {
+	p, err := ProfileConference(corpus.Data, "SC17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "SC" || p.Year != 2017 || p.Subfield != "HPC" {
+		t.Errorf("identity fields: %+v", p)
+	}
+	if p.Papers != 61 || p.AuthorSlots != 325 {
+		t.Errorf("sizes: %d papers, %d slots", p.Papers, p.AuthorSlots)
+	}
+	if p.UniqueAuthors > p.AuthorSlots || p.UniqueAuthors == 0 {
+		t.Errorf("unique authors %d vs %d slots", p.UniqueAuthors, p.AuthorSlots)
+	}
+	if !p.DoubleBlind || !p.DiversityChair || !p.Childcare || !p.CodeOfConduct {
+		t.Error("SC policy flags wrong")
+	}
+	// PC roster is 225 people; the known-gender denominator drops the few
+	// unassigned ones.
+	if p.PC.N < 215 || p.PC.N > 225 {
+		t.Errorf("PC known = %d, want 225 minus a few unknowns", p.PC.N)
+	}
+	if p.MeanTeamSize < 4 || p.MeanTeamSize > 7 {
+		t.Errorf("mean team size %.2f", p.MeanTeamSize)
+	}
+	if p.PapersWithWomen.N != 61 {
+		t.Errorf("PapersWithWomen.N = %d", p.PapersWithWomen.N)
+	}
+	if p.MeanCitations <= 0 {
+		t.Errorf("mean citations %.2f", p.MeanCitations)
+	}
+	// FAR consistent with the direct query.
+	far := AuthorFAR(corpus.Data)
+	for _, row := range far.PerConf {
+		if row.Conf == "SC17" && row.Ratio != p.FAR {
+			t.Errorf("profile FAR %v != analysis FAR %v", p.FAR, row.Ratio)
+		}
+	}
+}
+
+func TestProfileConferenceErrors(t *testing.T) {
+	if _, err := ProfileConference(corpus.Data, "NOPE"); err == nil {
+		t.Error("unknown conference accepted")
+	}
+}
+
+func TestProfileAll(t *testing.T) {
+	profiles, err := ProfileAll(corpus.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 9 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	var slots int
+	for _, p := range profiles {
+		slots += p.AuthorSlots
+	}
+	if slots != 2111 {
+		t.Errorf("profile slots sum to %d, want 2111", slots)
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	study, err := Replicate(4, func(i int) (*dataset.Dataset, dataset.ConfID, error) {
+		c, err := synth.Generate(synth.Default2017(uint64(100 + i)))
+		if err != nil {
+			return nil, "", err
+		}
+		return c.Data, "SC17", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Replicates != 4 {
+		t.Errorf("Replicates = %d", study.Replicates)
+	}
+	if len(study.Metrics) != 5 {
+		t.Fatalf("%d metrics", len(study.Metrics))
+	}
+	far, ok := study.Metric("overall FAR")
+	if !ok || len(far.Values) != 4 {
+		t.Fatalf("overall FAR metric missing or short: %+v", far)
+	}
+	// Every replicate lands in the calibrated band, and the spread across
+	// replicates is small — the "benchmark" property.
+	for _, v := range far.Values {
+		if v < 0.085 || v > 0.12 {
+			t.Errorf("replicate FAR %.4f outside band", v)
+		}
+	}
+	if far.Summary.StdDev > 0.01 {
+		t.Errorf("FAR replicate spread %.4f suspiciously wide", far.Summary.StdDev)
+	}
+	pc, ok := study.Metric("PC women ratio")
+	if !ok {
+		t.Fatal("PC metric missing")
+	}
+	if pc.Summary.Mean < 0.16 || pc.Summary.Mean > 0.21 {
+		t.Errorf("mean PC ratio %.4f", pc.Summary.Mean)
+	}
+	if _, ok := study.Metric("nonexistent"); ok {
+		t.Error("unknown metric resolved")
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	if _, err := Replicate(1, nil); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Replicate(2, nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	fails := func(i int) (*dataset.Dataset, dataset.ConfID, error) {
+		return nil, "", errTest
+	}
+	if _, err := Replicate(2, fails); err == nil {
+		t.Error("failing factory not propagated")
+	}
+}

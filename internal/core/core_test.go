@@ -1,0 +1,365 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gender"
+	"repro/internal/synth"
+)
+
+// corpus is the shared full-size synthetic corpus.
+var corpus = func() *synth.Corpus {
+	c, err := synth.Generate(synth.Default2017(1))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+// miniCorpus builds a small exact-arithmetic corpus: 2 conferences (one
+// double-blind), 4 papers, 10 people with controlled genders.
+func miniCorpus(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New()
+	add := func(id string, g gender.Gender, cc string) {
+		p := &dataset.Person{
+			ID: dataset.PersonID(id), Name: id, Forename: id,
+			TrueGender: g, Gender: g, CountryCode: cc,
+		}
+		if g.Known() {
+			p.AssignMethod = gender.MethodManual
+		}
+		if err := d.AddPerson(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("f1", gender.Female, "US")
+	add("f2", gender.Female, "DE")
+	add("f3", gender.Female, "US")
+	add("m1", gender.Male, "US")
+	add("m2", gender.Male, "US")
+	add("m3", gender.Male, "JP")
+	add("m4", gender.Male, "JP")
+	add("m5", gender.Male, "FR")
+	add("m6", gender.Male, "US")
+	add("u1", gender.Unknown, "US")
+
+	confs := []*dataset.Conference{
+		{
+			ID: "DB1", Name: "Double", Year: 2017,
+			Date: time.Date(2017, 11, 1, 0, 0, 0, 0, time.UTC), CountryCode: "US",
+			AcceptanceRate: 0.2, DoubleBlind: true,
+			PCChairs:  []dataset.PersonID{"m1"},
+			PCMembers: []dataset.PersonID{"f1", "m1", "m2", "m3"},
+			Keynotes:  []dataset.PersonID{"m4"},
+		},
+		{
+			ID: "SB1", Name: "Single", Year: 2017,
+			Date: time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC), CountryCode: "DE",
+			AcceptanceRate: 0.3,
+			PCChairs:       []dataset.PersonID{"f2"},
+			PCMembers:      []dataset.PersonID{"f2", "m4", "m5"},
+			SessionChairs:  []dataset.PersonID{"m5", "m6"},
+		},
+	}
+	for _, c := range confs {
+		if err := d.AddConference(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	papers := []*dataset.Paper{
+		{ID: "a", Conf: "DB1", Title: "A", Authors: []dataset.PersonID{"m1", "f1", "m2"}, Citations36: 10, HPCTopic: true},
+		{ID: "b", Conf: "DB1", Title: "B", Authors: []dataset.PersonID{"m3", "u1"}, Citations36: 0},
+		{ID: "c", Conf: "SB1", Title: "C", Authors: []dataset.PersonID{"f2", "m4"}, Citations36: 25, HPCTopic: true},
+		{ID: "d", Conf: "SB1", Title: "D", Authors: []dataset.PersonID{"m5", "f3", "m6"}, Citations36: 4},
+	}
+	for _, p := range papers {
+		if err := d.AddPaper(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAuthorFARMini(t *testing.T) {
+	d := miniCorpus(t)
+	r := AuthorFAR(d)
+	// Slots: 3+2+2+3 = 10; genders: f1,f2,f3 female; u1 unknown; 6 male.
+	if r.TotalSlots != 10 || r.UniqueN != 10 {
+		t.Errorf("slots/unique = %d/%d", r.TotalSlots, r.UniqueN)
+	}
+	if r.Overall.K != 3 || r.Overall.N != 9 {
+		t.Errorf("overall = %v", r.Overall)
+	}
+	if r.Unknown != 1 {
+		t.Errorf("unknown = %d", r.Unknown)
+	}
+	if len(r.PerConf) != 2 {
+		t.Fatalf("per-conf rows = %d", len(r.PerConf))
+	}
+	// DB1: 5 slots, 1 unknown, 1 woman of 4 known.
+	if r.PerConf[0].Conf != "DB1" || r.PerConf[0].Ratio.K != 1 || r.PerConf[0].Ratio.N != 4 {
+		t.Errorf("DB1 row = %+v", r.PerConf[0])
+	}
+	// SB1: 5 slots, 2 women of 5 known.
+	if r.PerConf[1].Ratio.K != 2 || r.PerConf[1].Ratio.N != 5 {
+		t.Errorf("SB1 row = %+v", r.PerConf[1])
+	}
+}
+
+func TestCompareBlindReviewMini(t *testing.T) {
+	d := miniCorpus(t)
+	r, err := CompareBlindReview(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DoubleBlind.K != 1 || r.DoubleBlind.N != 4 {
+		t.Errorf("double = %v", r.DoubleBlind)
+	}
+	if r.SingleBlind.K != 2 || r.SingleBlind.N != 5 {
+		t.Errorf("single = %v", r.SingleBlind)
+	}
+	// Leads: DB1 leads m1, m3 (0/2 women); SB1 leads f2, m5 (1/2).
+	if r.LeadDouble.K != 0 || r.LeadDouble.N != 2 || r.LeadSingle.K != 1 || r.LeadSingle.N != 2 {
+		t.Errorf("leads = %v vs %v", r.LeadDouble, r.LeadSingle)
+	}
+	if r.Test.P < 0 || r.Test.P > 1 {
+		t.Errorf("p = %g", r.Test.P)
+	}
+}
+
+func TestCompareBlindReviewRequiresBothKinds(t *testing.T) {
+	d := miniCorpus(t)
+	for _, c := range d.Conferences {
+		c.DoubleBlind = true
+	}
+	if _, err := CompareBlindReview(d); err == nil {
+		t.Error("all-double-blind corpus must error")
+	}
+}
+
+func TestCompareAuthorPositionsMini(t *testing.T) {
+	d := miniCorpus(t)
+	r, err := CompareAuthorPositions(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leads: m1, m3, f2, m5 -> 1/4. Lasts: m2, u1, m4, m6 -> 0/3 known.
+	if r.Lead.K != 1 || r.Lead.N != 4 {
+		t.Errorf("lead = %v", r.Lead)
+	}
+	if r.Last.K != 0 || r.Last.N != 3 {
+		t.Errorf("last = %v", r.Last)
+	}
+	if r.Overall.K != 3 || r.Overall.N != 9 {
+		t.Errorf("overall = %v", r.Overall)
+	}
+}
+
+func TestRoleRepresentationMini(t *testing.T) {
+	d := miniCorpus(t)
+	tab := RoleRepresentation(d)
+	// 6 roles x 2 conferences.
+	if len(tab.Cells) != 12 {
+		t.Fatalf("cells = %d, want 12", len(tab.Cells))
+	}
+	cell, ok := tab.Cell("DB1", dataset.RolePCMember)
+	if !ok || cell.Ratio.K != 1 || cell.Ratio.N != 4 {
+		t.Errorf("DB1 PC cell = %+v, %v", cell, ok)
+	}
+	cell, ok = tab.Cell("SB1", dataset.RoleSessionChair)
+	if !ok || cell.Ratio.K != 0 || cell.Ratio.N != 2 {
+		t.Errorf("SB1 session chairs = %+v", cell)
+	}
+	// Roles with no roster anywhere still appear with N = 0 cells.
+	cell, ok = tab.Cell("DB1", dataset.RolePanelist)
+	if !ok || cell.Ratio.N != 0 {
+		t.Errorf("empty panelist cell = %+v, %v", cell, ok)
+	}
+	if tab.Overall[dataset.RolePCMember].N != 7 || tab.Overall[dataset.RolePCMember].K != 2 {
+		t.Errorf("overall PC = %v", tab.Overall[dataset.RolePCMember])
+	}
+	if _, ok := tab.Cell("NOPE", dataset.RoleAuthor); ok {
+		t.Error("unknown conference cell resolved")
+	}
+}
+
+func TestProgramCommitteeMini(t *testing.T) {
+	d := miniCorpus(t)
+	r, err := ProgramCommittee(d, "DB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SlotsTotal != 7 || r.UniqueTotal != 7 {
+		t.Errorf("slots/unique = %d/%d", r.SlotsTotal, r.UniqueTotal)
+	}
+	if r.Overall.K != 2 || r.Overall.N != 7 {
+		t.Errorf("overall = %v", r.Overall)
+	}
+	if r.SC.K != 1 || r.SC.N != 4 {
+		t.Errorf("SC(=DB1) = %v", r.SC)
+	}
+	if r.ExcludingSC.K != 1 || r.ExcludingSC.N != 3 {
+		t.Errorf("excluding = %v", r.ExcludingSC)
+	}
+	if r.ChairsTotal != 2 || r.ChairWomen != 1 {
+		t.Errorf("chairs = %d women %d", r.ChairsTotal, r.ChairWomen)
+	}
+	if len(r.ZeroWomenChairConfs) != 1 || r.ZeroWomenChairConfs[0] != "DB1" {
+		t.Errorf("zero-women chair confs = %v", r.ZeroWomenChairConfs)
+	}
+	if _, err := ProgramCommittee(d, "NOPE"); err == nil {
+		t.Error("unknown SC id must error")
+	}
+	// Empty scID skips the SC breakdown.
+	r2, err := ProgramCommittee(d, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SC.N != 0 {
+		t.Errorf("SC breakdown should be empty, got %v", r2.SC)
+	}
+}
+
+func TestVisibleRolesMini(t *testing.T) {
+	d := miniCorpus(t)
+	rs := VisibleRoles(d)
+	if len(rs) != 3 {
+		t.Fatalf("%d visible roles", len(rs))
+	}
+	for _, r := range rs {
+		switch r.Role {
+		case dataset.RoleKeynote:
+			if r.Total != 1 || r.Women != 0 || len(r.ZeroWomenConf) != 1 {
+				t.Errorf("keynotes = %+v", r)
+			}
+		case dataset.RoleSessionChair:
+			if r.Total != 2 || r.Women != 0 {
+				t.Errorf("session chairs = %+v", r)
+			}
+		case dataset.RolePanelist:
+			if r.Total != 0 || len(r.ZeroWomenConf) != 0 {
+				t.Errorf("panelists = %+v", r)
+			}
+		}
+	}
+}
+
+func TestHPCOnlySubsetMini(t *testing.T) {
+	d := miniCorpus(t)
+	r, err := HPCOnlySubset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HPCPapers != 2 || r.TotalPapers != 4 {
+		t.Errorf("papers = %d/%d", r.HPCPapers, r.TotalPapers)
+	}
+	// HPC slots: paper a (m1,f1,m2) + paper c (f2,m4): 2/5 women.
+	if r.HPCAuthors.K != 2 || r.HPCAuthors.N != 5 {
+		t.Errorf("HPC authors = %v", r.HPCAuthors)
+	}
+	// HPC leads: m1, f2 -> 1/2.
+	if r.HPCLead.K != 1 || r.HPCLead.N != 2 {
+		t.Errorf("HPC leads = %v", r.HPCLead)
+	}
+	// Untagged corpus errors.
+	for _, p := range d.Papers {
+		p.HPCTopic = false
+	}
+	if _, err := HPCOnlySubset(d); err == nil {
+		t.Error("corpus without HPC tags must error")
+	}
+}
+
+func TestFlagshipTrendAndSummary(t *testing.T) {
+	c, err := synth.Generate(synth.FlagshipSeries(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := FlagshipTrend(c.Data)
+	if len(points) != 10 {
+		t.Fatalf("%d points, want 10", len(points))
+	}
+	// Sorted by series then year.
+	for i := 1; i < len(points); i++ {
+		a, b := points[i-1], points[i]
+		if a.Series > b.Series || (a.Series == b.Series && a.Year >= b.Year) {
+			t.Fatalf("points unsorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// ISC FAR stays in a low band (paper: 5-9%); SC attendance 12-14%.
+	for _, p := range points {
+		if p.Series == "ISC" {
+			far := p.FAR.Ratio()
+			if far < 0.01 || far > 0.14 {
+				t.Errorf("ISC %d FAR %.4f outside the paper's band", p.Year, far)
+			}
+		}
+		if p.Series == "SC" && (p.Attendance < 0.11 || p.Attendance > 0.15) {
+			t.Errorf("SC %d attendance %.3f", p.Year, p.Attendance)
+		}
+	}
+	sum := TrendSummary(points)
+	if len(sum) != 2 {
+		t.Fatalf("%d series summaries", len(sum))
+	}
+	for _, s := range sum {
+		if s.Years != 5 {
+			t.Errorf("%s years = %d", s.Series, s.Years)
+		}
+		if s.MinFAR > s.MaxFAR || math.Abs(s.Range-(s.MaxFAR-s.MinFAR)) > 1e-12 {
+			t.Errorf("%s min/max/range inconsistent: %+v", s.Series, s)
+		}
+	}
+}
+
+func TestSensitivityAnalysisOnFullCorpus(t *testing.T) {
+	r, err := SensitivityAnalysis(corpus.Data, "SC17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnknownCount == 0 {
+		t.Fatal("corpus has no unknown-gender researchers; sensitivity is vacuous")
+	}
+	if len(r.Baseline) != 4 || len(r.AllWomen) != 4 || len(r.AllMen) != 4 {
+		t.Fatalf("observation counts: %d/%d/%d", len(r.Baseline), len(r.AllWomen), len(r.AllMen))
+	}
+	// The paper's finding on its corpus: stable under both forcings. Our
+	// corpus has ~3% unknowns, so direction stability must hold for the
+	// strong effects; assert the key one (PC > authors) explicitly.
+	if r.Baseline[0].Effect <= 0 || r.AllWomen[0].Effect <= 0 || r.AllMen[0].Effect <= 0 {
+		t.Error("PC-vs-authors direction flipped under forcing")
+	}
+	if !r.Baseline[0].Significant {
+		t.Error("PC-vs-authors should be significant at baseline")
+	}
+	// Stable flag consistent with Flips.
+	if r.Stable != (len(r.Flips) == 0) {
+		t.Errorf("Stable=%v but Flips=%v", r.Stable, r.Flips)
+	}
+}
+
+func TestForceUnknownDoesNotMutateOriginal(t *testing.T) {
+	d := miniCorpus(t)
+	forced := forceUnknown(d, gender.Female)
+	orig, _ := d.Person("u1")
+	if orig.Gender.Known() {
+		t.Fatal("original dataset mutated")
+	}
+	f, _ := forced.Person("u1")
+	if f.Gender != gender.Female {
+		t.Fatal("forcing did not apply")
+	}
+	// Forced copy has identical known-gender counts plus the forced ones.
+	gcOrig := d.CountGenders(d.AuthorSlots())
+	gcForced := forced.CountGenders(forced.AuthorSlots())
+	if gcForced.Women != gcOrig.Women+1 || gcForced.Unknown != 0 {
+		t.Errorf("forced counts wrong: %+v from %+v", gcForced, gcOrig)
+	}
+}

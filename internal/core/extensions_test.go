@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func TestCollaborationPatterns(t *testing.T) {
+	r, err := CollaborationPatterns(corpus.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique := len(corpus.Data.UniqueAuthors())
+	if r.Nodes != unique {
+		t.Errorf("graph nodes %d != unique authors %d", r.Nodes, unique)
+	}
+	if r.Edges < r.Nodes { // teams of >= 2 give at least one edge per author
+		t.Errorf("edges %d implausibly few for %d nodes", r.Edges, r.Nodes)
+	}
+	if r.GiantFraction <= 0 || r.GiantFraction > 1 {
+		t.Errorf("giant fraction %g", r.GiantFraction)
+	}
+	if r.Mixing.TotalEdges() == 0 {
+		t.Error("no gendered edges")
+	}
+	// Random-mixing corpus: mild assortativity only.
+	if math.Abs(r.Mixing.Assortativity) > 0.15 {
+		t.Errorf("assortativity %g", r.Mixing.Assortativity)
+	}
+	if r.Degrees.FemaleN == 0 || r.Degrees.MaleN == 0 {
+		t.Error("degree analysis missing a gender")
+	}
+	if r.Teams.FemaleLedMean < 2 || r.Teams.MaleLedMean < 2 {
+		t.Error("implausible team sizes")
+	}
+}
+
+func TestCollaborationPatternsEmpty(t *testing.T) {
+	d := dataset.New()
+	if err := d.AddConference(&dataset.Conference{ID: "X", Name: "X", Year: 2017, AcceptanceRate: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollaborationPatterns(d); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestFamilyCorrection(t *testing.T) {
+	r, err := FamilyCorrection(corpus.Data, "SC17", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Alpha != 0.05 {
+		t.Errorf("default alpha = %g", r.Alpha)
+	}
+	if len(r.Tests) != 11 {
+		t.Fatalf("%d family tests, want 11", len(r.Tests))
+	}
+	// Holm is never more liberal than raw thresholds.
+	if r.Survivors > r.RawRejections {
+		t.Errorf("Holm rejected %d but raw rejected only %d", r.Survivors, r.RawRejections)
+	}
+	// The PC-vs-authors gap is so large it must survive any correction.
+	for _, test := range r.Tests {
+		if test.Name == "PC members vs authors" && !test.HolmReject {
+			t.Error("PC-vs-authors did not survive Holm despite p ~ 1e-10")
+		}
+		if test.HolmReject && !test.RawReject {
+			t.Errorf("%s: Holm rejects but raw does not", test.Name)
+		}
+		if test.P < 0 || test.P > 1 {
+			t.Errorf("%s: p = %g", test.Name, test.P)
+		}
+	}
+}
+
+func TestFamilyCorrectionCustomAlpha(t *testing.T) {
+	strict, err := FamilyCorrection(corpus.Data, "SC17", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := FamilyCorrection(corpus.Data, "SC17", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Survivors > loose.Survivors {
+		t.Errorf("stricter alpha kept more hypotheses: %d vs %d", strict.Survivors, loose.Survivors)
+	}
+}
+
+func TestTrendRegressions(t *testing.T) {
+	c, err := synth.Generate(synth.FlagshipSeries(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := FlagshipTrend(c.Data)
+	regs, err := TrendRegressions(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("%d regressions, want 2 (SC, ISC)", len(regs))
+	}
+	for _, reg := range regs {
+		if reg.Fit.N != 5 {
+			t.Errorf("%s fit over %d points", reg.Series, reg.Fit.N)
+		}
+		// The paper's corpus shows no clear trend; the calibrated series
+		// are flat, so the slope must be tiny and nonsignificant.
+		if math.Abs(reg.Fit.Slope) > 0.02 {
+			t.Errorf("%s slope %g per year — the series should be flat", reg.Series, reg.Fit.Slope)
+		}
+		if reg.Fit.P < 0.05 {
+			t.Errorf("%s flat series rejected at p = %g", reg.Series, reg.Fit.P)
+		}
+	}
+	// Series with fewer than 3 editions are skipped, not errored.
+	short, err := TrendRegressions(points[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) != 0 {
+		t.Errorf("short series produced %d regressions", len(short))
+	}
+}
+
+func TestCitationRobustCompanions(t *testing.T) {
+	r, err := CitationReception(corpus.Data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fisher and chi-squared must broadly agree on the i10 table.
+	if math.Abs(r.I10Fisher.P-r.I10Test.P) > 0.15 {
+		t.Errorf("Fisher p %g far from chi-squared p %g", r.I10Fisher.P, r.I10Test.P)
+	}
+	// The effect direction: women attain i10 less often -> negative h.
+	if r.I10EffectH >= 0 {
+		t.Errorf("Cohen's h = %g, want negative", r.I10EffectH)
+	}
+	// Mann-Whitney is nearly identical with and without the outlier (one
+	// rank out of ~500 moves); the mean-based contrast flips sign.
+	if math.Abs(r.MannWhitneyExclOutlier.RankBiserial-r.MannWhitneyInclOutlier.RankBiserial) > 0.05 {
+		t.Errorf("Mann-Whitney moved by the outlier: %g vs %g",
+			r.MannWhitneyExclOutlier.RankBiserial, r.MannWhitneyInclOutlier.RankBiserial)
+	}
+	if (r.MeanFemale > r.MeanMale) == (r.MeanFemaleExclOut > r.MeanMale) {
+		t.Error("outlier should flip the mean comparison (paper: 13.04 -> 7.63 vs 10.55)")
+	}
+}
+
+func TestVisibleRolesExactTests(t *testing.T) {
+	for _, r := range VisibleRoles(corpus.Data) {
+		if r.Total == 0 {
+			continue
+		}
+		if r.VsAuthorsExact.P <= 0 || r.VsAuthorsExact.P > 1 {
+			t.Errorf("%s: Fisher p = %g", r.Role, r.VsAuthorsExact.P)
+		}
+	}
+}
+
+func TestDiversityPolicy(t *testing.T) {
+	r, err := DiversityPolicy(corpus.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.WithPolicy) != 2 { // SC and ISC
+		t.Errorf("policy venues = %v", r.WithPolicy)
+	}
+	// §3.4's paradox: the diversity-chair venues have LOWER author FAR...
+	if !(r.FARWith.Ratio() < r.FARWithout.Ratio()) {
+		t.Errorf("policy FAR %.4f not below non-policy %.4f",
+			r.FARWith.Ratio(), r.FARWithout.Ratio())
+	}
+	// ...but HIGHER invited-role representation (SC's explicit push).
+	if !(r.InvitedWith.Ratio() > r.InvitedWithout.Ratio()) {
+		t.Errorf("policy invited %.4f not above non-policy %.4f",
+			r.InvitedWith.Ratio(), r.InvitedWithout.Ratio())
+	}
+	if r.InvitedTest.P < 0 || r.InvitedTest.P > 1 || r.FARTest.P < 0 || r.FARTest.P > 1 {
+		t.Error("malformed p-values")
+	}
+}
+
+func TestDiversityPolicyNotApplicable(t *testing.T) {
+	// Flagship corpus: every venue has a diversity chair.
+	c, err := synth.Generate(synth.FlagshipSeries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiversityPolicy(c.Data); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("err = %v, want ErrNotApplicable", err)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/scholar"
+)
+
+// LinkageAnalysis quantifies the name-disambiguation problem behind the
+// paper's Google Scholar coverage (§2): profiles are found by name, and
+// namesakes cannot be linked "unambiguously" without manual evidence.
+type LinkageAnalysis struct {
+	Researchers     int     // researchers considered (unique authors + PC)
+	GSLinked        int     // researchers with an unambiguous GS profile
+	Coverage        float64 // GSLinked / Researchers (paper: 0.683)
+	DistinctNames   int     // distinct researcher names
+	AmbiguousNames  int     // names shared by 2+ researchers
+	NamesakeClashes int     // researchers whose name is shared
+}
+
+// GSLinkage computes the linkage statistics over the demographic
+// population, using the scholar name index to detect namesakes.
+func GSLinkage(d *dataset.Dataset) LinkageAnalysis {
+	var res LinkageAnalysis
+	ix := scholar.NewNameIndex()
+	ids := d.UniqueAuthorsAndPC()
+	for _, id := range ids {
+		p, ok := d.Person(id)
+		if !ok {
+			continue
+		}
+		res.Researchers++
+		if p.HasGSProfile {
+			res.GSLinked++
+		}
+		ix.Register(p.Name, string(p.ID))
+	}
+	if res.Researchers > 0 {
+		res.Coverage = float64(res.GSLinked) / float64(res.Researchers)
+	}
+	names := ix.Names()
+	res.DistinctNames = len(names)
+	for _, n := range names {
+		_, candidates, r := ix.Resolve(n)
+		if r == scholar.Ambiguous {
+			res.AmbiguousNames++
+			res.NamesakeClashes += len(candidates)
+		}
+	}
+	return res
+}

@@ -1,0 +1,27 @@
+package core
+
+import "testing"
+
+func TestGSLinkage(t *testing.T) {
+	r := GSLinkage(corpus.Data)
+	if r.Researchers == 0 {
+		t.Fatal("no researchers")
+	}
+	// Paper: 68.3% unambiguous GS coverage.
+	if r.Coverage < 0.60 || r.Coverage > 0.78 {
+		t.Errorf("coverage %.3f outside [0.60, 0.78]", r.Coverage)
+	}
+	// Name pools are finite, so namesakes are inevitable in a ~2700-person
+	// corpus — the disambiguation problem must actually exist.
+	if r.AmbiguousNames == 0 {
+		t.Error("no ambiguous names; disambiguation substrate is vacuous")
+	}
+	if r.DistinctNames >= r.Researchers {
+		t.Errorf("distinct names %d >= researchers %d despite namesakes",
+			r.DistinctNames, r.Researchers)
+	}
+	if r.NamesakeClashes < 2*r.AmbiguousNames {
+		t.Errorf("%d clashes for %d ambiguous names (each needs >= 2)",
+			r.NamesakeClashes, r.AmbiguousNames)
+	}
+}

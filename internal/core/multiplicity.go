@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// FamilyTest is one named hypothesis in the paper's test family with its
+// raw p-value and the Holm-corrected decision.
+type FamilyTest struct {
+	Name       string
+	P          float64
+	RawReject  bool // p < alpha without correction
+	HolmReject bool // rejected by the Holm step-down procedure
+}
+
+// MultiplicityAnalysis treats the paper's reported significance tests as
+// one family and applies the Holm-Bonferroni correction — a robustness
+// layer the paper itself does not include but that a careful reader would
+// want: with nine-plus tests on one corpus, a raw p just under 0.05 is
+// weak evidence.
+type MultiplicityAnalysis struct {
+	Alpha float64
+	Tests []FamilyTest
+	// Survivors counts hypotheses still rejected after correction.
+	Survivors int
+	// RawRejections counts uncorrected rejections for comparison.
+	RawRejections int
+}
+
+// FamilyCorrection gathers the paper's main chi-squared and t-test
+// p-values and applies Holm at the given alpha (0 means 0.05).
+func FamilyCorrection(d *dataset.Dataset, scID dataset.ConfID, alpha float64) (MultiplicityAnalysis, error) {
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	res := MultiplicityAnalysis{Alpha: alpha}
+
+	blind, err := CompareBlindReview(d)
+	if err != nil {
+		return res, fmt.Errorf("core: family: %w", err)
+	}
+	pos, err := CompareAuthorPositions(d)
+	if err != nil {
+		return res, fmt.Errorf("core: family: %w", err)
+	}
+	pc, err := ProgramCommittee(d, scID)
+	if err != nil {
+		return res, fmt.Errorf("core: family: %w", err)
+	}
+	topic, err := HPCOnlySubset(d)
+	if err != nil {
+		return res, fmt.Errorf("core: family: %w", err)
+	}
+	cit, err := CitationReception(d, 0)
+	if err != nil {
+		return res, fmt.Errorf("core: family: %w", err)
+	}
+	bands, err := ExperienceBands(d)
+	if err != nil {
+		return res, fmt.Errorf("core: family: %w", err)
+	}
+	sectors, err := SectorRepresentation(d)
+	if err != nil {
+		return res, fmt.Errorf("core: family: %w", err)
+	}
+
+	res.Tests = []FamilyTest{
+		{Name: "FAR: double- vs single-blind", P: blind.Test.P},
+		{Name: "lead FAR: double- vs single-blind", P: blind.LeadTest.P},
+		{Name: "last-author vs overall FAR", P: pos.LastTest.P},
+		{Name: "PC members vs authors", P: pc.VsAuthors.P},
+		{Name: "HPC-only vs all authors", P: topic.AuthorTest.P},
+		{Name: "HPC-only vs all lead authors", P: topic.LeadTest.P},
+		{Name: "citations by lead gender (excl. outlier)", P: cit.WelchExclOutlier.P},
+		{Name: "i10 attainment by lead gender", P: cit.I10Test.P},
+		{Name: "novice share by author gender", P: bands.NoviceTest.P},
+		{Name: "sector x gender (PC members)", P: sectors.PCTest.P},
+		{Name: "sector x gender (authors)", P: sectors.AuthorTest.P},
+	}
+	ps := make([]float64, len(res.Tests))
+	for i, t := range res.Tests {
+		ps[i] = t.P
+	}
+	holm, err := stats.HolmBonferroni(ps, alpha)
+	if err != nil {
+		return res, err
+	}
+	for i := range res.Tests {
+		res.Tests[i].RawReject = res.Tests[i].P < alpha
+		res.Tests[i].HolmReject = holm[i]
+		if res.Tests[i].RawReject {
+			res.RawRejections++
+		}
+		if holm[i] {
+			res.Survivors++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// ReplicationMetric is one headline statistic tracked across replications.
+type ReplicationMetric struct {
+	Name    string
+	Values  []float64
+	Summary stats.Summary
+}
+
+// ReplicationStudy runs the headline analyses over many independently
+// generated corpora and summarizes the sampling distribution of each
+// statistic. The paper positions itself as "a benchmark against which
+// future progress can be measured"; this study quantifies how much of any
+// future difference is attributable to sampling noise alone.
+type ReplicationStudy struct {
+	Replicates int
+	Metrics    []ReplicationMetric
+}
+
+// Metric returns a named metric, if present.
+func (r ReplicationStudy) Metric(name string) (ReplicationMetric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ReplicationMetric{}, false
+}
+
+// CorpusFactory generates one corpus per replicate (typically a synth
+// config with a varying seed).
+type CorpusFactory func(replicate int) (*dataset.Dataset, dataset.ConfID, error)
+
+// Replicate runs the study with n replicates from the factory.
+func Replicate(n int, factory CorpusFactory) (ReplicationStudy, error) {
+	if n < 2 {
+		return ReplicationStudy{}, fmt.Errorf("core: replication needs >= 2 replicates (got %d)", n)
+	}
+	if factory == nil {
+		return ReplicationStudy{}, fmt.Errorf("core: nil corpus factory")
+	}
+	names := []string{
+		"overall FAR",
+		"SC FAR",
+		"PC women ratio",
+		"novice gap (F-M)",
+		"citation gap excl outlier (F-M)",
+	}
+	values := make(map[string][]float64, len(names))
+	for i := 0; i < n; i++ {
+		d, scID, err := factory(i)
+		if err != nil {
+			return ReplicationStudy{}, fmt.Errorf("core: replicate %d: %w", i, err)
+		}
+		far := AuthorFAR(d)
+		values["overall FAR"] = append(values["overall FAR"], far.Overall.Ratio())
+		if scID != "" {
+			sc := proportionOf(d.CountGenders(d.AuthorSlots(scID)))
+			values["SC FAR"] = append(values["SC FAR"], sc.Ratio())
+		}
+		pc, err := ProgramCommittee(d, scID)
+		if err != nil {
+			return ReplicationStudy{}, fmt.Errorf("core: replicate %d: %w", i, err)
+		}
+		values["PC women ratio"] = append(values["PC women ratio"], pc.Overall.Ratio())
+		bands, err := ExperienceBands(d)
+		if err != nil {
+			return ReplicationStudy{}, fmt.Errorf("core: replicate %d: %w", i, err)
+		}
+		values["novice gap (F-M)"] = append(values["novice gap (F-M)"],
+			bands.NoviceFemale.Ratio()-bands.NoviceMale.Ratio())
+		cit, err := CitationReception(d, 0)
+		if err != nil {
+			return ReplicationStudy{}, fmt.Errorf("core: replicate %d: %w", i, err)
+		}
+		values["citation gap excl outlier (F-M)"] = append(values["citation gap excl outlier (F-M)"],
+			cit.MeanFemaleExclOut-cit.MeanMale)
+	}
+	study := ReplicationStudy{Replicates: n}
+	for _, name := range names {
+		vals := values[name]
+		if len(vals) == 0 {
+			continue
+		}
+		sum, err := stats.Summarize(vals)
+		if err != nil {
+			return study, err
+		}
+		study.Metrics = append(study.Metrics, ReplicationMetric{
+			Name: name, Values: vals, Summary: sum,
+		})
+	}
+	return study, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/gender"
+)
+
+// Observation is one directional finding checked by the sensitivity
+// analysis: its effect direction (positive means "women's ratio in group A
+// exceeds group B" or the analysis-specific analog) and whether its test
+// is significant at alpha = 0.05.
+type Observation struct {
+	Name        string
+	Effect      float64 // signed effect size (difference of proportions)
+	P           float64
+	Significant bool
+}
+
+// SensitivityResult is the Limitations-section analysis: force every
+// unknown-gender researcher to women, then to men, and check that no
+// observation changes direction or significance (the paper's finding).
+type SensitivityResult struct {
+	UnknownCount int
+	Baseline     []Observation
+	AllWomen     []Observation
+	AllMen       []Observation
+	// Stable reports whether every observation kept its direction and
+	// significance under both forcings.
+	Stable bool
+	// Flips lists the observation names that changed, if any.
+	Flips []string
+}
+
+// SensitivityAnalysis recomputes the paper's key observations under the
+// all-women and all-men forcings of the 144 unknown-gender researchers.
+// scID names the SC edition for the PC analysis.
+func SensitivityAnalysis(d *dataset.Dataset, scID dataset.ConfID) (SensitivityResult, error) {
+	var res SensitivityResult
+	for _, p := range d.Persons {
+		if !p.Gender.Known() {
+			res.UnknownCount++
+		}
+	}
+	base, err := keyObservations(d, scID)
+	if err != nil {
+		return res, fmt.Errorf("core: baseline observations: %w", err)
+	}
+	res.Baseline = base
+
+	women, err := keyObservations(forceUnknown(d, gender.Female), scID)
+	if err != nil {
+		return res, fmt.Errorf("core: all-women forcing: %w", err)
+	}
+	res.AllWomen = women
+
+	men, err := keyObservations(forceUnknown(d, gender.Male), scID)
+	if err != nil {
+		return res, fmt.Errorf("core: all-men forcing: %w", err)
+	}
+	res.AllMen = men
+
+	res.Stable = true
+	for i := range base {
+		for _, alt := range [][]Observation{women, men} {
+			if sign(alt[i].Effect) != sign(base[i].Effect) || alt[i].Significant != base[i].Significant {
+				res.Stable = false
+				res.Flips = append(res.Flips, base[i].Name)
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// keyObservations evaluates the directional findings the paper re-checked.
+func keyObservations(d *dataset.Dataset, scID dataset.ConfID) ([]Observation, error) {
+	const alpha = 0.05
+	var out []Observation
+
+	pc, err := ProgramCommittee(d, scID)
+	if err != nil {
+		return nil, err
+	}
+	authors := proportionOf(d.CountGenders(d.AuthorSlots()))
+	out = append(out, Observation{
+		Name:        "PC members more female than authors",
+		Effect:      pc.Overall.Ratio() - authors.Ratio(),
+		P:           pc.VsAuthors.P,
+		Significant: pc.VsAuthors.P < alpha,
+	})
+
+	blind, err := CompareBlindReview(d)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Observation{
+		Name:        "double-blind conferences have lower FAR",
+		Effect:      blind.SingleBlind.Ratio() - blind.DoubleBlind.Ratio(),
+		P:           blind.Test.P,
+		Significant: blind.Test.P < alpha,
+	})
+
+	pos, err := CompareAuthorPositions(d)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Observation{
+		Name:        "last authors less female than overall",
+		Effect:      pos.Overall.Ratio() - pos.Last.Ratio(),
+		P:           pos.LastTest.P,
+		Significant: pos.LastTest.P < alpha,
+	})
+
+	bands, err := ExperienceBands(d)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Observation{
+		Name:        "female authors more often novice",
+		Effect:      bands.NoviceFemale.Ratio() - bands.NoviceMale.Ratio(),
+		P:           bands.NoviceTest.P,
+		Significant: bands.NoviceTest.P < alpha,
+	})
+	return out, nil
+}
+
+// forceUnknown returns a copy of the dataset in which every unknown-gender
+// researcher is assigned g. Conferences and papers are shared (they are
+// not mutated); person records are copied.
+func forceUnknown(d *dataset.Dataset, g gender.Gender) *dataset.Dataset {
+	out := dataset.New()
+	for _, c := range d.Conferences {
+		if err := out.AddConference(c); err != nil {
+			panic(err) // same IDs as a valid dataset
+		}
+	}
+	for _, p := range d.Papers {
+		if err := out.AddPaper(p); err != nil {
+			panic(err)
+		}
+	}
+	for id, p := range d.Persons {
+		cp := *p
+		if !cp.Gender.Known() {
+			cp.Gender = g
+		}
+		if err := out.AddPerson(&cp); err != nil {
+			panic(err)
+		}
+		_ = id
+	}
+	return out
+}

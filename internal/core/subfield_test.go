@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+var extendedCorpus = func() *synth.Corpus {
+	c, err := synth.Generate(synth.ExtendedSystems(4))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+func TestSubfieldComparison(t *testing.T) {
+	r, err := SubfieldComparison(extendedCorpus.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 8 {
+		t.Fatalf("only %d subfields", len(r.Rows))
+	}
+	// Rows sorted by FAR descending.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].FAR.Ratio() > r.Rows[i-1].FAR.Ratio() {
+			t.Fatal("rows not sorted by FAR")
+		}
+	}
+	// The paper's motivating gap: HPC is the (or nearly the) lowest
+	// subfield, and the HPC-vs-rest contrast is decisive on a corpus this
+	// size.
+	if !(r.HPC.Ratio() < r.Others.Ratio()) {
+		t.Errorf("HPC %.4f not below other subfields %.4f", r.HPC.Ratio(), r.Others.Ratio())
+	}
+	if !r.HPCVsRest.Significant(0.01) {
+		t.Errorf("HPC-vs-rest p = %g, want decisive", r.HPCVsRest.P)
+	}
+	// WebData calibrated as the closest to the CS-wide band tops the list.
+	if r.Rows[0].Subfield != "WebData" && r.Rows[1].Subfield != "WebData" {
+		t.Errorf("WebData not near the top: %+v", r.Rows[:2])
+	}
+	// HPC lands in the bottom three.
+	pos := -1
+	for i, row := range r.Rows {
+		if row.Subfield == "HPC" {
+			pos = i
+		}
+	}
+	if pos < len(r.Rows)-4 {
+		t.Errorf("HPC ranked %d of %d; expected near the bottom", pos+1, len(r.Rows))
+	}
+}
+
+func TestSubfieldComparisonSingleSubfield(t *testing.T) {
+	// The core 2017 corpus is all-HPC: not applicable.
+	_, err := SubfieldComparison(corpus.Data)
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("single-subfield corpus: err = %v, want ErrNotApplicable", err)
+	}
+}
+
+func TestExtendedCorpusStructure(t *testing.T) {
+	d := extendedCorpus.Data
+	if len(d.Conferences) != 27 { // 9 HPC + 18 extension venues
+		t.Errorf("%d conferences, want 27", len(d.Conferences))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every conference carries a subfield.
+	for _, c := range d.Conferences {
+		if c.Subfield == "" {
+			t.Errorf("conference %s has no subfield", c.ID)
+		}
+	}
+	// Corpus is substantially larger than the core one.
+	if len(d.Persons) < 2*len(corpus.Data.Persons) {
+		t.Errorf("extended corpus only %d persons vs core %d",
+			len(d.Persons), len(corpus.Data.Persons))
+	}
+}

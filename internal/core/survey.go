@@ -1,0 +1,29 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/dataset"
+	"repro/internal/gender"
+)
+
+// SurveyValidation reproduces the paper's author survey (§2): invite the
+// corpus researchers, collect self-identified gender, and compare against
+// the pipeline's assignments. The paper "found no discrepancies between
+// assigned gender and self-selected gender"; a corrupted assignment
+// pipeline surfaces here as a nonzero discrepancy count.
+func SurveyValidation(d *dataset.Dataset, rng *rand.Rand, responseRate, declineRate float64) (gender.SurveyResult, error) {
+	ids := d.UniqueAuthorsAndPC()
+	truths := make([]gender.Gender, 0, len(ids))
+	assigned := make([]gender.Gender, 0, len(ids))
+	for _, id := range ids {
+		p, ok := d.Person(id)
+		if !ok {
+			continue
+		}
+		truths = append(truths, p.TrueGender)
+		assigned = append(assigned, p.Gender)
+	}
+	res, _, err := gender.Survey{ResponseRate: responseRate, DeclineRate: declineRate}.Run(rng, truths, assigned)
+	return res, err
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// SeriesPoint is one conference edition in the §3.4 flagship time series.
+type SeriesPoint struct {
+	Series     string // conference series name, e.g. "SC"
+	Year       int
+	Conf       dataset.ConfID
+	FAR        stats.Proportion
+	Attendance float64 // reported women's attendance share (0 = unshared)
+	LeadFAR    stats.Proportion
+}
+
+// FlagshipTrend computes the per-year FAR for every conference series in
+// the corpus, sorted by series then year — the §3.4 SC/ISC case study when
+// run on the flagship corpus.
+func FlagshipTrend(d *dataset.Dataset) []SeriesPoint {
+	var out []SeriesPoint
+	for _, c := range d.Conferences {
+		out = append(out, SeriesPoint{
+			Series:     c.Name,
+			Year:       c.Year,
+			Conf:       c.ID,
+			FAR:        proportionOf(d.CountGenders(d.AuthorSlots(c.ID))),
+			Attendance: c.WomenAttendance,
+			LeadFAR:    proportionOf(d.CountGenders(d.LeadAuthors(c.ID))),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Series != out[j].Series {
+			return out[i].Series < out[j].Series
+		}
+		return out[i].Year < out[j].Year
+	})
+	return out
+}
+
+// TrendRegression is the slope test behind the §3.4 "no clear trend"
+// reading: an OLS fit of FAR on year for one conference series.
+type TrendRegression struct {
+	Series string
+	Fit    stats.RegressionResult
+}
+
+// TrendRegressions fits FAR-on-year for every series with at least three
+// editions (fewer cannot support a slope test). Series are returned in
+// first-appearance order.
+func TrendRegressions(points []SeriesPoint) ([]TrendRegression, error) {
+	bySeries := map[string][]SeriesPoint{}
+	var order []string
+	for _, p := range points {
+		if _, seen := bySeries[p.Series]; !seen {
+			order = append(order, p.Series)
+		}
+		bySeries[p.Series] = append(bySeries[p.Series], p)
+	}
+	var out []TrendRegression
+	for _, name := range order {
+		pts := bySeries[name]
+		if len(pts) < 3 {
+			continue
+		}
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i] = float64(p.Year)
+			ys[i] = p.FAR.Ratio()
+		}
+		fit, err := stats.LinearRegression(xs, ys)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TrendRegression{Series: name, Fit: fit})
+	}
+	return out, nil
+}
+
+// SeriesStats summarizes one series' FAR trajectory.
+type SeriesStats struct {
+	Series string
+	Years  int
+	MinFAR float64
+	MaxFAR float64
+	Range  float64
+}
+
+// TrendSummary aggregates FlagshipTrend points per series (the paper's
+// "ISC FAR values were in the range of 5%-9%" style of reporting).
+func TrendSummary(points []SeriesPoint) []SeriesStats {
+	bySeries := map[string]*SeriesStats{}
+	var order []string
+	for _, p := range points {
+		s := bySeries[p.Series]
+		if s == nil {
+			s = &SeriesStats{Series: p.Series, MinFAR: 2} // FAR is always <= 1
+			bySeries[p.Series] = s
+			order = append(order, p.Series)
+		}
+		s.Years++
+		far := p.FAR.Ratio()
+		if far < s.MinFAR {
+			s.MinFAR = far
+		}
+		if far > s.MaxFAR {
+			s.MaxFAR = far
+		}
+	}
+	out := make([]SeriesStats, 0, len(order))
+	for _, name := range order {
+		s := bySeries[name]
+		s.Range = s.MaxFAR - s.MinFAR
+		out = append(out, *s)
+	}
+	return out
+}

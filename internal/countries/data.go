@@ -1,0 +1,128 @@
+package countries
+
+// all is the embedded country table. Subregions follow the UN M49 taxonomy
+// as published in the mledoze/countries dataset the paper used. The set
+// covers every country with HPC conference participation in the paper's
+// corpus plus enough of the long tail for email-TLD resolution.
+var all = []Country{
+	// Northern America
+	{"United States", "US", "USA", "us", "Americas", NorthernAmerica},
+	{"Canada", "CA", "CAN", "ca", "Americas", NorthernAmerica},
+
+	// Western Europe
+	{"Germany", "DE", "DEU", "de", "Europe", WesternEurope},
+	{"France", "FR", "FRA", "fr", "Europe", WesternEurope},
+	{"Switzerland", "CH", "CHE", "ch", "Europe", WesternEurope},
+	{"Netherlands", "NL", "NLD", "nl", "Europe", WesternEurope},
+	{"Belgium", "BE", "BEL", "be", "Europe", WesternEurope},
+	{"Austria", "AT", "AUT", "at", "Europe", WesternEurope},
+	{"Luxembourg", "LU", "LUX", "lu", "Europe", WesternEurope},
+	{"Monaco", "MC", "MCO", "mc", "Europe", WesternEurope},
+	{"Liechtenstein", "LI", "LIE", "li", "Europe", WesternEurope},
+
+	// Northern Europe
+	{"United Kingdom", "GB", "GBR", "gb", "Europe", NorthernEurope},
+	{"Ireland", "IE", "IRL", "ie", "Europe", NorthernEurope},
+	{"Sweden", "SE", "SWE", "se", "Europe", NorthernEurope},
+	{"Norway", "NO", "NOR", "no", "Europe", NorthernEurope},
+	{"Denmark", "DK", "DNK", "dk", "Europe", NorthernEurope},
+	{"Finland", "FI", "FIN", "fi", "Europe", NorthernEurope},
+	{"Iceland", "IS", "ISL", "is", "Europe", NorthernEurope},
+	{"Estonia", "EE", "EST", "ee", "Europe", NorthernEurope},
+	{"Latvia", "LV", "LVA", "lv", "Europe", NorthernEurope},
+	{"Lithuania", "LT", "LTU", "lt", "Europe", NorthernEurope},
+
+	// Southern Europe
+	{"Spain", "ES", "ESP", "es", "Europe", SouthernEurope},
+	{"Italy", "IT", "ITA", "it", "Europe", SouthernEurope},
+	{"Portugal", "PT", "PRT", "pt", "Europe", SouthernEurope},
+	{"Greece", "GR", "GRC", "gr", "Europe", SouthernEurope},
+	{"Slovenia", "SI", "SVN", "si", "Europe", SouthernEurope},
+	{"Croatia", "HR", "HRV", "hr", "Europe", SouthernEurope},
+	{"Serbia", "RS", "SRB", "rs", "Europe", SouthernEurope},
+	{"Malta", "MT", "MLT", "mt", "Europe", SouthernEurope},
+
+	// Eastern Europe
+	{"Poland", "PL", "POL", "pl", "Europe", EasternEurope},
+	{"Czechia", "CZ", "CZE", "cz", "Europe", EasternEurope},
+	{"Russia", "RU", "RUS", "ru", "Europe", EasternEurope},
+	{"Hungary", "HU", "HUN", "hu", "Europe", EasternEurope},
+	{"Romania", "RO", "ROU", "ro", "Europe", EasternEurope},
+	{"Bulgaria", "BG", "BGR", "bg", "Europe", EasternEurope},
+	{"Slovakia", "SK", "SVK", "sk", "Europe", EasternEurope},
+	{"Ukraine", "UA", "UKR", "ua", "Europe", EasternEurope},
+	{"Belarus", "BY", "BLR", "by", "Europe", EasternEurope},
+
+	// Eastern Asia
+	{"China", "CN", "CHN", "cn", "Asia", EasternAsia},
+	{"Japan", "JP", "JPN", "jp", "Asia", EasternAsia},
+	{"South Korea", "KR", "KOR", "kr", "Asia", EasternAsia},
+	{"Taiwan", "TW", "TWN", "tw", "Asia", EasternAsia},
+	{"Hong Kong", "HK", "HKG", "hk", "Asia", EasternAsia},
+	{"Mongolia", "MN", "MNG", "mn", "Asia", EasternAsia},
+	{"Macau", "MO", "MAC", "mo", "Asia", EasternAsia},
+
+	// Southern Asia
+	{"India", "IN", "IND", "in", "Asia", SouthernAsia},
+	{"Pakistan", "PK", "PAK", "pk", "Asia", SouthernAsia},
+	{"Bangladesh", "BD", "BGD", "bd", "Asia", SouthernAsia},
+	{"Sri Lanka", "LK", "LKA", "lk", "Asia", SouthernAsia},
+	{"Iran", "IR", "IRN", "ir", "Asia", SouthernAsia},
+	{"Nepal", "NP", "NPL", "np", "Asia", SouthernAsia},
+
+	// South-Eastern Asia
+	{"Singapore", "SG", "SGP", "sg", "Asia", SouthEasternAsia},
+	{"Thailand", "TH", "THA", "th", "Asia", SouthEasternAsia},
+	{"Malaysia", "MY", "MYS", "my", "Asia", SouthEasternAsia},
+	{"Vietnam", "VN", "VNM", "vn", "Asia", SouthEasternAsia},
+	{"Indonesia", "ID", "IDN", "id", "Asia", SouthEasternAsia},
+	{"Philippines", "PH", "PHL", "ph", "Asia", SouthEasternAsia},
+
+	// Western Asia
+	{"Israel", "IL", "ISR", "il", "Asia", WesternAsia},
+	{"Turkey", "TR", "TUR", "tr", "Asia", WesternAsia},
+	{"Saudi Arabia", "SA", "SAU", "sa", "Asia", WesternAsia},
+	{"United Arab Emirates", "AE", "ARE", "ae", "Asia", WesternAsia},
+	{"Qatar", "QA", "QAT", "qa", "Asia", WesternAsia},
+	{"Jordan", "JO", "JOR", "jo", "Asia", WesternAsia},
+	{"Lebanon", "LB", "LBN", "lb", "Asia", WesternAsia},
+
+	// Central Asia
+	{"Kazakhstan", "KZ", "KAZ", "kz", "Asia", CentralAsia},
+	{"Uzbekistan", "UZ", "UZB", "uz", "Asia", CentralAsia},
+
+	// Australia and New Zealand
+	{"Australia", "AU", "AUS", "au", "Oceania", AustraliaNZ},
+	{"New Zealand", "NZ", "NZL", "nz", "Oceania", AustraliaNZ},
+
+	// South America
+	{"Brazil", "BR", "BRA", "br", "Americas", SouthAmerica},
+	{"Argentina", "AR", "ARG", "ar", "Americas", SouthAmerica},
+	{"Chile", "CL", "CHL", "cl", "Americas", SouthAmerica},
+	{"Colombia", "CO", "COL", "co", "Americas", SouthAmerica},
+	{"Uruguay", "UY", "URY", "uy", "Americas", SouthAmerica},
+	{"Ecuador", "EC", "ECU", "ec", "Americas", SouthAmerica},
+	{"Peru", "PE", "PER", "pe", "Americas", SouthAmerica},
+	{"Venezuela", "VE", "VEN", "ve", "Americas", SouthAmerica},
+
+	// Central America & Caribbean
+	{"Mexico", "MX", "MEX", "mx", "Americas", CentralAmerica},
+	{"Costa Rica", "CR", "CRI", "cr", "Americas", CentralAmerica},
+	{"Panama", "PA", "PAN", "pa", "Americas", CentralAmerica},
+	{"Guatemala", "GT", "GTM", "gt", "Americas", CentralAmerica},
+	{"Cuba", "CU", "CUB", "cu", "Americas", CaribbeanRegion},
+	{"Puerto Rico", "PR", "PRI", "pr", "Americas", CaribbeanRegion},
+
+	// Africa
+	{"Egypt", "EG", "EGY", "eg", "Africa", NorthernAfrica},
+	{"Morocco", "MA", "MAR", "ma", "Africa", NorthernAfrica},
+	{"Algeria", "DZ", "DZA", "dz", "Africa", NorthernAfrica},
+	{"Tunisia", "TN", "TUN", "tn", "Africa", NorthernAfrica},
+	{"Nigeria", "NG", "NGA", "ng", "Africa", WesternAfrica},
+	{"Ghana", "GH", "GHA", "gh", "Africa", WesternAfrica},
+	{"Senegal", "SN", "SEN", "sn", "Africa", WesternAfrica},
+	{"South Africa", "ZA", "ZAF", "za", "Africa", SouthernAfrica},
+	{"Kenya", "KE", "KEN", "ke", "Africa", EasternAfrica},
+	{"Ethiopia", "ET", "ETH", "et", "Africa", EasternAfrica},
+	{"Cameroon", "CM", "CMR", "cm", "Africa", MiddleAfrica},
+}

@@ -1,0 +1,111 @@
+package countries
+
+import "strings"
+
+// The paper infers country of residence from the email addresses authors
+// print in their papers: country-code TLDs map directly, while the generic
+// US-administered TLDs .edu, .gov and .mil are attributed to the United
+// States. Generic TLDs (.com, .org, .net, ...) carry no geographic signal
+// by themselves and resolve only through the well-known-domain table.
+
+// genericTLDs carry no country information on their own.
+var genericTLDs = map[string]bool{
+	"com": true, "org": true, "net": true, "info": true, "io": true,
+	"ai": true, "dev": true, "xyz": true, "biz": true, "int": true,
+	"eu": true, // supranational
+}
+
+// usTLDs are administered for US institutions.
+var usTLDs = map[string]bool{"edu": true, "gov": true, "mil": true}
+
+// wellKnownDomains resolves major multinational or generically-named
+// research institutions whose TLD is uninformative. Patterned after the
+// paper's hand-coded affiliation rules.
+var wellKnownDomains = map[string]string{
+	"ibm.com":         "US",
+	"google.com":      "US",
+	"microsoft.com":   "US",
+	"intel.com":       "US",
+	"nvidia.com":      "US",
+	"amd.com":         "US",
+	"amazon.com":      "US",
+	"hpe.com":         "US",
+	"hp.com":          "US",
+	"cray.com":        "US",
+	"oracle.com":      "US",
+	"facebook.com":    "US",
+	"llnl.gov":        "US",
+	"ornl.gov":        "US",
+	"anl.gov":         "US",
+	"lanl.gov":        "US",
+	"sandia.gov":      "US",
+	"nasa.gov":        "US",
+	"nist.gov":        "US",
+	"pnnl.gov":        "US",
+	"lbl.gov":         "US",
+	"bnl.gov":         "US",
+	"nrel.gov":        "US",
+	"cern.ch":         "CH",
+	"epfl.ch":         "CH",
+	"ethz.ch":         "CH",
+	"riken.jp":        "JP",
+	"fujitsu.com":     "JP",
+	"nec.com":         "JP",
+	"samsung.com":     "KR",
+	"huawei.com":      "CN",
+	"alibaba-inc.com": "CN",
+	"baidu.com":       "CN",
+	"tencent.com":     "CN",
+	"bsc.es":          "ES",
+	"inria.fr":        "FR",
+	"cnrs.fr":         "FR",
+	"cea.fr":          "FR",
+	"atos.net":        "FR",
+	"bull.net":        "FR",
+	"fz-juelich.de":   "DE",
+	"mpg.de":          "DE",
+	"dkrz.de":         "DE",
+	"kaust.edu.sa":    "SA",
+	"arm.com":         "GB",
+	"tcs.com":         "IN",
+	"csiro.au":        "AU",
+}
+
+// FromEmail infers the ISO alpha-2 country code from an email address.
+// The boolean reports whether a country could be inferred.
+func FromEmail(email string) (string, bool) {
+	at := strings.LastIndexByte(email, '@')
+	if at < 0 || at == len(email)-1 {
+		return "", false
+	}
+	return FromDomain(email[at+1:])
+}
+
+// FromDomain infers the ISO alpha-2 country code from a bare domain name.
+func FromDomain(domain string) (string, bool) {
+	domain = strings.ToLower(strings.TrimSpace(strings.TrimSuffix(domain, ".")))
+	if domain == "" || !strings.Contains(domain, ".") {
+		return "", false
+	}
+	// Exact or suffix match against the well-known-domain table first, so
+	// "us.ibm.com" and "research.google.com" resolve.
+	for known, cc := range wellKnownDomains {
+		if domain == known || strings.HasSuffix(domain, "."+known) {
+			return cc, true
+		}
+	}
+	labels := strings.Split(domain, ".")
+	tld := labels[len(labels)-1]
+	switch {
+	case usTLDs[tld]:
+		return "US", true
+	case genericTLDs[tld]:
+		return "", false
+	}
+	// Multi-label academic domains under a ccTLD (e.g. ac.uk, edu.cn,
+	// ac.jp) still end with the ccTLD, so a plain TLD lookup suffices.
+	if c, ok := ByTLD(tld); ok {
+		return c.CCA2, true
+	}
+	return "", false
+}

@@ -1,0 +1,37 @@
+package countries
+
+import "testing"
+
+// FuzzFromEmail: country inference is exposed to raw scraped strings and
+// must be total.
+func FuzzFromEmail(f *testing.F) {
+	f.Add("alice@cs.reed.edu")
+	f.Add("@")
+	f.Add("a@b@c@d.gov")
+	f.Add("x@" + string(rune(0)))
+	f.Fuzz(func(t *testing.T, email string) {
+		cc, ok := FromEmail(email)
+		if ok && len(cc) != 2 {
+			t.Errorf("FromEmail(%q) returned malformed code %q", email, cc)
+		}
+		if !ok && cc != "" {
+			t.Errorf("FromEmail(%q) returned %q with ok=false", email, cc)
+		}
+	})
+}
+
+// FuzzByCode: lookups are total and codes round-trip.
+func FuzzByCode(f *testing.F) {
+	f.Add("US")
+	f.Add("usa")
+	f.Add("")
+	f.Add("ZZZZZ")
+	f.Fuzz(func(t *testing.T, code string) {
+		c, ok := ByCode(code)
+		if ok {
+			if c2, ok2 := ByCode(c.CCA2); !ok2 || c2.CCA2 != c.CCA2 {
+				t.Errorf("round trip failed for %q -> %q", code, c.CCA2)
+			}
+		}
+	})
+}

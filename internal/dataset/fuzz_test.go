@@ -1,0 +1,32 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadPersonsCSV: arbitrary byte streams must never panic the loader —
+// they either parse into persons or return an error.
+func FuzzReadPersonsCSV(f *testing.F) {
+	f.Add("id,name,forename,true_gender,gender,assign_method,email,affiliation,country,sector,has_gs,gs_pubs,gs_hindex,gs_i10,gs_citations,has_s2,s2_pubs\n" +
+		"p1,P One,P,male,male,manual,a@b.edu,Uni,US,EDU,true,10,3,2,60,true,12\n")
+	f.Add("")
+	f.Add("id,nope\nx,y\n")
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, data string) {
+		d := New()
+		_ = d.ReadPersonsCSV(strings.NewReader(data)) // must not panic
+	})
+}
+
+// FuzzReadConferencesCSV mirrors the persons fuzzer for the conference
+// table (it has the most typed columns).
+func FuzzReadConferencesCSV(f *testing.F) {
+	f.Add("id,name,year,date,country,submitted,acceptance_rate,double_blind,diversity_chair,code_of_conduct,childcare,women_attendance,subfield,pc_chairs,pc_members,keynotes,panelists,session_chairs\n" +
+		"SC17,SC,2017,2017-11-13,US,327,0.187,true,true,true,true,0.14,HPC,,,,,\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		d := New()
+		_ = d.ReadConferencesCSV(strings.NewReader(data))
+	})
+}

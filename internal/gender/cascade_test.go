@@ -1,0 +1,212 @@
+package gender
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestManualInvestigatorConclusive(t *testing.T) {
+	inv := ManualInvestigator{}
+	a, ok := inv.Assign(Female, WebEvidence{HasPronounPage: true}, nil)
+	if !ok || a.Gender != Female || a.Method != MethodManual || a.Confidence != 1 {
+		t.Errorf("pronoun evidence: %+v, %v", a, ok)
+	}
+	a, ok = inv.Assign(Male, WebEvidence{HasPhoto: true}, nil)
+	if !ok || a.Gender != Male {
+		t.Errorf("photo evidence: %+v, %v", a, ok)
+	}
+	if _, ok := inv.Assign(Female, WebEvidence{}, nil); ok {
+		t.Error("no evidence must not assign")
+	}
+	if _, ok := inv.Assign(Unknown, WebEvidence{HasPhoto: true}, nil); ok {
+		t.Error("unknown truth must not assign")
+	}
+}
+
+func TestManualInvestigatorErrorInjection(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	inv := ManualInvestigator{ErrRate: 0.5}
+	flip := func(p float64) bool { return rng.Float64() < p }
+	wrong := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		a, ok := inv.Assign(Female, WebEvidence{HasPhoto: true}, flip)
+		if !ok {
+			t.Fatal("conclusive evidence must assign")
+		}
+		if a.Gender == Male {
+			wrong++
+		}
+	}
+	if wrong < trials/3 || wrong > 2*trials/3 {
+		t.Errorf("50%% error injection produced %d/%d wrong assignments", wrong, trials)
+	}
+	// Zero error rate never flips, even with a hostile coin.
+	alwaysFlip := func(float64) bool { return true }
+	a, _ := ManualInvestigator{}.Assign(Male, WebEvidence{HasPhoto: true}, alwaysFlip)
+	if a.Gender != Male {
+		t.Error("ErrRate 0 must never flip")
+	}
+}
+
+func TestCascadeStages(t *testing.T) {
+	c := Cascade{Automated: BankGenderizer{}}
+	// Stage 1: manual evidence wins even when the name is misleading.
+	a := c.Assign(Female, WebEvidence{HasPronounPage: true}, "john", "US", nil)
+	if a.Method != MethodManual || a.Gender != Female {
+		t.Errorf("manual stage: %+v", a)
+	}
+	// Stage 2: no evidence, confident name.
+	a = c.Assign(Female, WebEvidence{}, "mary", "", nil)
+	if a.Method != MethodAutomated || a.Gender != Female || a.Confidence < ConfidenceFloor {
+		t.Errorf("automated stage: %+v", a)
+	}
+	// Stage 3: no evidence, ambiguous name below the floor.
+	a = c.Assign(Male, WebEvidence{}, "xin", "", nil)
+	if a.Method != MethodNone || a.Gender != Unknown {
+		t.Errorf("ambiguous name should stay unknown: %+v", a)
+	}
+	// Stage 3: unknown name entirely.
+	a = c.Assign(Male, WebEvidence{}, "zzyzx", "", nil)
+	if a.Gender != Unknown {
+		t.Errorf("unseen name should stay unknown: %+v", a)
+	}
+	// Stage 3: no forename at all (initials).
+	a = c.Assign(Male, WebEvidence{}, "", "", nil)
+	if a.Gender != Unknown {
+		t.Errorf("empty forename should stay unknown: %+v", a)
+	}
+}
+
+func TestCascadeCustomFloor(t *testing.T) {
+	// "kim" has PFemale 0.80: passes a 0.75 floor, fails a 0.90 floor.
+	low := Cascade{Automated: BankGenderizer{}, Floor: 0.75}
+	high := Cascade{Automated: BankGenderizer{}, Floor: 0.90}
+	if a := low.Assign(Female, WebEvidence{}, "kim", "", nil); a.Gender != Female {
+		t.Errorf("floor 0.75 should accept kim: %+v", a)
+	}
+	if a := high.Assign(Female, WebEvidence{}, "kim", "", nil); a.Gender != Unknown {
+		t.Errorf("floor 0.90 should reject kim: %+v", a)
+	}
+}
+
+func TestCascadeNilGenderizer(t *testing.T) {
+	c := Cascade{}
+	a := c.Assign(Female, WebEvidence{}, "mary", "", nil)
+	if a.Gender != Unknown || a.Method != MethodNone {
+		t.Errorf("nil genderizer must fall through to none: %+v", a)
+	}
+}
+
+func TestCascadeAutomatedCanBeWrong(t *testing.T) {
+	// The key accuracy property: the automated stage assigns the *name's*
+	// dominant gender, not the person's. A man named "Ashley" gets
+	// Female — exactly the error mode manual assignment avoids.
+	c := Cascade{Automated: BankGenderizer{}}
+	a := c.Assign(Male, WebEvidence{}, "ashley", "", nil)
+	if a.Gender != Female {
+		t.Errorf("automated stage should follow the name: %+v", a)
+	}
+	// With evidence, the manual stage gets it right.
+	a = c.Assign(Male, WebEvidence{HasPhoto: true}, "ashley", "", nil)
+	if a.Gender != Male {
+		t.Errorf("manual stage should follow the person: %+v", a)
+	}
+}
+
+func TestCoverageStats(t *testing.T) {
+	var s CoverageStats
+	s.Add(Assignment{Method: MethodManual})
+	s.Add(Assignment{Method: MethodManual})
+	s.Add(Assignment{Method: MethodAutomated})
+	s.Add(Assignment{Method: MethodNone})
+	if s.Total != 4 || s.Manual != 2 || s.Automated != 1 || s.None != 1 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.ManualFrac() != 0.5 || s.AutomatedFrac() != 0.25 || s.UnassignedFrac() != 0.25 {
+		t.Errorf("fractions: %g %g %g", s.ManualFrac(), s.AutomatedFrac(), s.UnassignedFrac())
+	}
+	var empty CoverageStats
+	if empty.ManualFrac() != 0 {
+		t.Error("empty population fractions must be 0, not NaN")
+	}
+}
+
+func TestSurveyNoDiscrepanciesWithPerfectPipeline(t *testing.T) {
+	// The paper's finding: a perfect manual pipeline shows zero
+	// discrepancies between assigned and self-selected gender.
+	rng := rand.New(rand.NewPCG(4, 2))
+	n := 500
+	truths := make([]Gender, n)
+	assigned := make([]Gender, n)
+	for i := range truths {
+		if i%10 == 0 {
+			truths[i] = Female
+		} else {
+			truths[i] = Male
+		}
+		assigned[i] = truths[i]
+	}
+	res, records, err := Survey{ResponseRate: 0.4, DeclineRate: 0.05}.Run(rng, truths, assigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discrepancies != 0 {
+		t.Errorf("perfect pipeline produced %d discrepancies", res.Discrepancies)
+	}
+	if res.Invited != n {
+		t.Errorf("Invited = %d, want %d", res.Invited, n)
+	}
+	if res.Responded == 0 || res.Responded >= n {
+		t.Errorf("implausible response count %d", res.Responded)
+	}
+	rr := res.ResponseRate()
+	if rr < 0.3 || rr > 0.5 {
+		t.Errorf("response rate %g far from 0.4", rr)
+	}
+	if len(records) != res.Responded {
+		t.Errorf("%d records for %d responses", len(records), res.Responded)
+	}
+	if res.DiscrepancyRate() != 0 {
+		t.Errorf("discrepancy rate %g, want 0", res.DiscrepancyRate())
+	}
+}
+
+func TestSurveyDetectsBadAssignments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	truths := []Gender{Female, Female, Male, Male}
+	assigned := []Gender{Male, Female, Male, Female} // two wrong
+	res, _, err := Survey{ResponseRate: 1, DeclineRate: 0}.Run(rng, truths, assigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discrepancies != 2 {
+		t.Errorf("Discrepancies = %d, want 2", res.Discrepancies)
+	}
+	if res.DiscrepancyRate() != 0.5 {
+		t.Errorf("DiscrepancyRate = %g, want 0.5", res.DiscrepancyRate())
+	}
+}
+
+func TestSurveyErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, _, err := (Survey{ResponseRate: 0.5}).Run(rng, []Gender{Female}, nil); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	if _, _, err := (Survey{ResponseRate: 1.5}).Run(rng, nil, nil); err == nil {
+		t.Error("want error for bad response rate")
+	}
+	if _, _, err := (Survey{ResponseRate: 0.5, DeclineRate: -0.1}).Run(rng, nil, nil); err == nil {
+		t.Error("want error for bad decline rate")
+	}
+	if _, _, err := (Survey{ResponseRate: 0.5}).Run(nil, nil, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+}
+
+func TestSurveyDeclinedNotDiscrepant(t *testing.T) {
+	rec := SurveyRecord{Assigned: Female, Reported: Unknown}
+	if rec.Discrepant() {
+		t.Error("declined self-report must not count as a discrepancy")
+	}
+}

@@ -1,0 +1,86 @@
+// Package gender implements the paper's gender-assignment methodology as a
+// simulated substrate. The paper's pipeline was: (1) manual assignment from
+// an unambiguous web page with a gendered pronoun or photo (95.18% of
+// researchers), (2) genderize.io automated inference when it was at least
+// 70% confident (1.79%), and (3) Unknown otherwise (144 persons, 3.03%),
+// who are excluded from most analyses.
+//
+// The package provides the Gender type, a forename frequency bank, a
+// Genderizer service modeled on genderize.io (name + optional country in,
+// gender + confidence + sample count out), a manual-evidence investigator,
+// the assignment cascade combining them, and the author-survey validation
+// the paper ran.
+//
+// Like the paper — and the bibliometric literature it follows — the model
+// is restricted to binary perceived gender, a stated limitation of the
+// methodology, not an assertion about gender identity.
+package gender
+
+import "strings"
+
+// Gender is the binary perceived gender used by the paper, with Unknown for
+// the unassigned remainder.
+type Gender int8
+
+const (
+	Unknown Gender = iota
+	Female
+	Male
+)
+
+// String returns "female", "male" or "unknown".
+func (g Gender) String() string {
+	switch g {
+	case Female:
+		return "female"
+	case Male:
+		return "male"
+	default:
+		return "unknown"
+	}
+}
+
+// Known reports whether the gender was assigned.
+func (g Gender) Known() bool { return g == Female || g == Male }
+
+// Parse converts a string (case-insensitive; accepts "f"/"m" and
+// "woman"/"man" forms) to a Gender.
+func Parse(s string) Gender {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "female", "f", "woman", "w":
+		return Female
+	case "male", "m", "man":
+		return Male
+	default:
+		return Unknown
+	}
+}
+
+// Method records how a researcher's gender was assigned, mirroring the
+// paper's three-way methodology split.
+type Method int8
+
+const (
+	MethodNone      Method = iota // no assignment was possible
+	MethodManual                  // unambiguous web page (pronoun or photo)
+	MethodAutomated               // genderize-style service at >= 70% confidence
+)
+
+// String returns "manual", "automated" or "none".
+func (m Method) String() string {
+	switch m {
+	case MethodManual:
+		return "manual"
+	case MethodAutomated:
+		return "automated"
+	default:
+		return "none"
+	}
+}
+
+// Assignment is the outcome of the cascade for one researcher.
+type Assignment struct {
+	Gender     Gender
+	Method     Method
+	Confidence float64 // confidence of the deciding signal, 1.0 for manual
+}

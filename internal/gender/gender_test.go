@@ -1,0 +1,236 @@
+package gender
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenderString(t *testing.T) {
+	cases := []struct {
+		g    Gender
+		want string
+	}{
+		{Female, "female"}, {Male, "male"}, {Unknown, "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.g.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.g, got, c.want)
+		}
+	}
+}
+
+func TestGenderKnown(t *testing.T) {
+	if !Female.Known() || !Male.Known() {
+		t.Error("Female/Male must be Known")
+	}
+	if Unknown.Known() {
+		t.Error("Unknown must not be Known")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Gender
+	}{
+		{"female", Female}, {"F", Female}, {"Woman", Female}, {"w", Female},
+		{"male", Male}, {"M", Male}, {"man", Male},
+		{"", Unknown}, {"nonbinary", Unknown}, {"x", Unknown},
+		{" Female ", Female},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Round-trip.
+	for _, g := range []Gender{Female, Male, Unknown} {
+		if Parse(g.String()) != g {
+			t.Errorf("round-trip failed for %v", g)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodManual.String() != "manual" || MethodAutomated.String() != "automated" || MethodNone.String() != "none" {
+		t.Error("Method.String() wrong")
+	}
+}
+
+func TestBankIntegrity(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range bank {
+		if e.Name == "" {
+			t.Error("empty name in bank")
+		}
+		if e.PFemale < 0 || e.PFemale > 1 {
+			t.Errorf("%s: PFemale %g outside [0,1]", e.Name, e.PFemale)
+		}
+		if e.Count <= 0 {
+			t.Errorf("%s: nonpositive count %d", e.Name, e.Count)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate bank name %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestBankOriginVariety(t *testing.T) {
+	// Every origin group must supply both dominant-female and
+	// dominant-male names for the corpus generator (Western, Indian,
+	// Japanese, Arabic) — Chinese and Korean romanizations are expected to
+	// be ambiguity-heavy but must still be nonempty overall.
+	for _, o := range []Origin{OriginWestern, OriginIndian, OriginJapanese, OriginArabic} {
+		if len(BankNames(o, Female)) == 0 {
+			t.Errorf("no dominant-female names for origin %v", o)
+		}
+		if len(BankNames(o, Male)) == 0 {
+			t.Errorf("no dominant-male names for origin %v", o)
+		}
+	}
+	for _, o := range []Origin{OriginChinese, OriginKorean} {
+		if len(BankNames(o, Unknown)) == 0 {
+			t.Errorf("no names at all for origin %v", o)
+		}
+	}
+	if len(AmbiguousNames()) < 10 {
+		t.Errorf("only %d ambiguous names; the accuracy model needs a real pool", len(AmbiguousNames()))
+	}
+}
+
+func TestLookupName(t *testing.T) {
+	e, ok := LookupName("Mary")
+	if !ok || e.PFemale < 0.9 {
+		t.Errorf("LookupName(Mary) = %+v, %v", e, ok)
+	}
+	e, ok = LookupName("  JAMES ")
+	if !ok || e.PFemale > 0.1 {
+		t.Errorf("LookupName(JAMES) = %+v, %v", e, ok)
+	}
+	if _, ok := LookupName("Zaphod"); ok {
+		t.Error("unknown name should miss")
+	}
+}
+
+func TestBankGenderizerBasics(t *testing.T) {
+	g := BankGenderizer{}
+	r := g.Infer("Mary", "")
+	if r.Gender != Female || r.Probability < 0.99 || r.Count == 0 {
+		t.Errorf("Infer(Mary) = %+v", r)
+	}
+	r = g.Infer("John", "")
+	if r.Gender != Male || r.Probability < 0.99 {
+		t.Errorf("Infer(John) = %+v", r)
+	}
+	r = g.Infer("Xyzzy", "")
+	if r.Gender != Unknown || r.Count != 0 {
+		t.Errorf("Infer(unknown name) = %+v", r)
+	}
+	// Probability is always in [0.5, 1] for known names.
+	for _, e := range bank {
+		resp := g.Infer(e.Name, "")
+		if resp.Probability < 0.5 || resp.Probability > 1 {
+			t.Errorf("Infer(%s).Probability = %g outside [0.5, 1]", e.Name, resp.Probability)
+		}
+		if !resp.Gender.Known() {
+			t.Errorf("Infer(%s) returned Unknown for a bank name", e.Name)
+		}
+	}
+}
+
+func TestBankGenderizerAsianNamesLessConfident(t *testing.T) {
+	// The paper's cited weakness: romanized Chinese names are much less
+	// confidently gendered than Western names. Compare mean confidence.
+	g := BankGenderizer{}
+	meanConf := func(origin Origin) float64 {
+		var sum float64
+		var n int
+		for _, e := range bank {
+			if e.Origin != origin {
+				continue
+			}
+			sum += g.Infer(e.Name, "").Probability
+			n++
+		}
+		return sum / float64(n)
+	}
+	west := meanConf(OriginWestern)
+	chinese := meanConf(OriginChinese)
+	if !(chinese < west-0.1) {
+		t.Errorf("Chinese mean confidence %g should be well below Western %g", chinese, west)
+	}
+}
+
+func TestBankGenderizerFemaleNamesLessConfidentThanMale(t *testing.T) {
+	// Second cited weakness: automated inference is "especially
+	// [accurate] for male names ... less accurate for women".
+	g := BankGenderizer{}
+	var fSum, mSum float64
+	var fN, mN int
+	for _, e := range bank {
+		r := g.Infer(e.Name, "")
+		switch r.Gender {
+		case Female:
+			fSum += r.Probability
+			fN++
+		case Male:
+			mSum += r.Probability
+			mN++
+		}
+	}
+	if !(fSum/float64(fN) < mSum/float64(mN)) {
+		t.Errorf("female mean confidence %g should be below male %g", fSum/float64(fN), mSum/float64(mN))
+	}
+}
+
+func TestCountryConditioning(t *testing.T) {
+	g := BankGenderizer{}
+	global := g.Infer("wei", "")
+	home := g.Infer("wei", "CN")
+	away := g.Infer("wei", "US")
+	if !(home.Probability > global.Probability) {
+		t.Errorf("home-country hint should sharpen: home %g vs global %g", home.Probability, global.Probability)
+	}
+	if !(away.Probability < global.Probability) {
+		t.Errorf("mismatched hint should blur: away %g vs global %g", away.Probability, global.Probability)
+	}
+	if home.Count >= global.Count {
+		t.Error("country-conditioned count should shrink")
+	}
+	if home.Count < 1 || away.Count < 1 {
+		t.Error("conditioned counts must stay positive")
+	}
+}
+
+func TestCountryConditioningProbabilityBounds(t *testing.T) {
+	g := BankGenderizer{}
+	ccs := []string{"", "CN", "US", "IN", "JP", "KR", "SA", "DE", "ZZ"}
+	f := func(nameIdx uint16, ccIdx uint8) bool {
+		e := bank[int(nameIdx)%len(bank)]
+		cc := ccs[int(ccIdx)%len(ccs)]
+		r := g.Infer(e.Name, cc)
+		return r.Probability >= 0.5 && r.Probability <= 1 && r.Count >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForename(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Eitan Frachtenberg", "Eitan"},
+		{"Frachtenberg, Eitan", "Eitan"},
+		{"J. Smith", ""},
+		{"J Smith", ""},
+		{"  Mary   Shaw ", "Mary"},
+		{"", ""},
+		{"Madonna", "Madonna"},
+		{"Kaner, Rhody D.", "Rhody"},
+	}
+	for _, c := range cases {
+		if got := Forename(c.in); got != c.want {
+			t.Errorf("Forename(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

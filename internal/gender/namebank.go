@@ -1,0 +1,305 @@
+package gender
+
+import (
+	"sort"
+	"strings"
+)
+
+// Origin is the broad name-origin group used to model the accuracy
+// differences the paper cites: name-based inference is "reasonably accurate
+// for names of Western origin, and especially for male names, but less
+// accurate for women and names of Asian origin".
+type Origin int8
+
+const (
+	OriginWestern Origin = iota
+	OriginChinese
+	OriginIndian
+	OriginJapanese
+	OriginKorean
+	OriginArabic
+)
+
+// String names the origin group.
+func (o Origin) String() string {
+	switch o {
+	case OriginWestern:
+		return "western"
+	case OriginChinese:
+		return "chinese"
+	case OriginIndian:
+		return "indian"
+	case OriginJapanese:
+		return "japanese"
+	case OriginKorean:
+		return "korean"
+	case OriginArabic:
+		return "arabic"
+	default:
+		return "unknown"
+	}
+}
+
+// NameEntry is one forename in the frequency bank: the fraction of bearers
+// who are female and the total sample count backing that estimate, the two
+// quantities a genderize.io response carries.
+type NameEntry struct {
+	Name    string
+	Origin  Origin
+	PFemale float64 // fraction of bearers who are female, in [0, 1]
+	Count   int     // sample size behind the estimate
+}
+
+// bank is the embedded forename frequency table. Counts and probabilities
+// are synthetic but shaped like genderize.io responses: Western names are
+// high-count and nearly deterministic; romanized Chinese given names are
+// low-count and ambiguous (pinyin loses the gendered characters); Indian,
+// Japanese, Korean and Arabic names sit in between.
+var bank = []NameEntry{
+	// Western female — high count, high certainty.
+	{"mary", OriginWestern, 0.996, 410000}, {"jennifer", OriginWestern, 0.995, 380000},
+	{"linda", OriginWestern, 0.995, 290000}, {"elizabeth", OriginWestern, 0.994, 350000},
+	{"susan", OriginWestern, 0.995, 270000}, {"margaret", OriginWestern, 0.994, 210000},
+	{"laura", OriginWestern, 0.993, 240000}, {"sarah", OriginWestern, 0.994, 330000},
+	{"karen", OriginWestern, 0.995, 250000}, {"nancy", OriginWestern, 0.995, 200000},
+	{"lisa", OriginWestern, 0.995, 280000}, {"betty", OriginWestern, 0.995, 160000},
+	{"sandra", OriginWestern, 0.994, 190000}, {"ashley", OriginWestern, 0.988, 260000},
+	{"emily", OriginWestern, 0.995, 300000}, {"michelle", OriginWestern, 0.993, 240000},
+	{"carol", OriginWestern, 0.990, 170000}, {"amanda", OriginWestern, 0.995, 230000},
+	{"anna", OriginWestern, 0.991, 310000}, {"maria", OriginWestern, 0.993, 420000},
+	{"julia", OriginWestern, 0.992, 230000}, {"sophie", OriginWestern, 0.993, 170000},
+	{"claire", OriginWestern, 0.991, 140000}, {"alice", OriginWestern, 0.992, 150000},
+	{"rachel", OriginWestern, 0.994, 180000}, {"rebecca", OriginWestern, 0.994, 200000},
+	{"katherine", OriginWestern, 0.994, 190000}, {"christine", OriginWestern, 0.992, 180000},
+	{"catherine", OriginWestern, 0.993, 190000}, {"stephanie", OriginWestern, 0.994, 210000},
+	{"monica", OriginWestern, 0.991, 130000}, {"valentina", OriginWestern, 0.992, 90000},
+	{"elena", OriginWestern, 0.990, 140000}, {"ana", OriginWestern, 0.992, 260000},
+	{"carmen", OriginWestern, 0.975, 150000}, {"lucia", OriginWestern, 0.991, 120000},
+	{"marta", OriginWestern, 0.992, 110000}, {"isabel", OriginWestern, 0.991, 120000},
+	{"ingrid", OriginWestern, 0.990, 70000}, {"petra", OriginWestern, 0.989, 80000},
+	{"katrin", OriginWestern, 0.990, 60000}, {"sabine", OriginWestern, 0.991, 70000},
+	{"camille", OriginWestern, 0.870, 90000}, {"dominique", OriginWestern, 0.560, 80000},
+	{"andrea", OriginWestern, 0.780, 200000}, // male in Italy, female elsewhere
+	{"marion", OriginWestern, 0.890, 60000},
+	{"heidi", OriginWestern, 0.992, 60000}, {"greta", OriginWestern, 0.991, 40000},
+	{"paula", OriginWestern, 0.993, 90000}, {"silvia", OriginWestern, 0.992, 100000},
+
+	// Western male — high count, high certainty.
+	{"james", OriginWestern, 0.004, 480000}, {"john", OriginWestern, 0.005, 510000},
+	{"robert", OriginWestern, 0.004, 470000}, {"michael", OriginWestern, 0.005, 500000},
+	{"william", OriginWestern, 0.004, 380000}, {"david", OriginWestern, 0.005, 450000},
+	{"richard", OriginWestern, 0.004, 330000}, {"joseph", OriginWestern, 0.005, 310000},
+	{"thomas", OriginWestern, 0.005, 340000}, {"charles", OriginWestern, 0.005, 280000},
+	{"christopher", OriginWestern, 0.004, 320000}, {"daniel", OriginWestern, 0.006, 330000},
+	{"matthew", OriginWestern, 0.004, 290000}, {"anthony", OriginWestern, 0.005, 240000},
+	{"mark", OriginWestern, 0.004, 260000}, {"donald", OriginWestern, 0.004, 180000},
+	{"steven", OriginWestern, 0.004, 230000}, {"paul", OriginWestern, 0.005, 250000},
+	{"andrew", OriginWestern, 0.004, 260000}, {"joshua", OriginWestern, 0.004, 220000},
+	{"kenneth", OriginWestern, 0.004, 170000}, {"kevin", OriginWestern, 0.004, 220000},
+	{"brian", OriginWestern, 0.004, 210000}, {"george", OriginWestern, 0.005, 200000},
+	{"peter", OriginWestern, 0.005, 240000}, {"eric", OriginWestern, 0.006, 200000},
+	{"stephen", OriginWestern, 0.004, 190000}, {"scott", OriginWestern, 0.004, 180000},
+	{"gregory", OriginWestern, 0.004, 150000}, {"frank", OriginWestern, 0.005, 160000},
+	{"alexander", OriginWestern, 0.005, 230000}, {"patrick", OriginWestern, 0.006, 170000},
+	{"jack", OriginWestern, 0.005, 160000}, {"dennis", OriginWestern, 0.004, 130000},
+	{"jerry", OriginWestern, 0.006, 120000}, {"carlos", OriginWestern, 0.004, 180000},
+	{"juan", OriginWestern, 0.004, 200000}, {"miguel", OriginWestern, 0.004, 140000},
+	{"javier", OriginWestern, 0.003, 110000}, {"antonio", OriginWestern, 0.004, 170000},
+	{"francesco", OriginWestern, 0.004, 100000}, {"giovanni", OriginWestern, 0.004, 90000},
+	{"marco", OriginWestern, 0.004, 120000}, {"luca", OriginWestern, 0.015, 110000},
+	{"pierre", OriginWestern, 0.004, 110000}, {"jean", OriginWestern, 0.120, 160000},
+	{"hans", OriginWestern, 0.003, 90000}, {"klaus", OriginWestern, 0.003, 70000},
+	{"wolfgang", OriginWestern, 0.003, 60000}, {"stefan", OriginWestern, 0.004, 90000},
+	{"lars", OriginWestern, 0.003, 50000}, {"erik", OriginWestern, 0.004, 80000},
+	{"henrik", OriginWestern, 0.003, 40000}, {"eitan", OriginWestern, 0.010, 9000},
+	{"noah", OriginWestern, 0.006, 140000}, {"ivan", OriginWestern, 0.004, 130000},
+	{"sergio", OriginWestern, 0.004, 90000}, {"pablo", OriginWestern, 0.004, 100000},
+
+	// Western unisex / ambiguous — the names genderize struggles with.
+	{"taylor", OriginWestern, 0.540, 90000}, {"jordan", OriginWestern, 0.300, 110000},
+	{"casey", OriginWestern, 0.560, 70000}, {"morgan", OriginWestern, 0.620, 70000},
+	{"riley", OriginWestern, 0.600, 60000}, {"jamie", OriginWestern, 0.580, 90000},
+	{"alex", OriginWestern, 0.180, 180000}, {"sam", OriginWestern, 0.200, 150000},
+	{"robin", OriginWestern, 0.450, 80000}, {"kim", OriginWestern, 0.800, 120000},
+	{"chris", OriginWestern, 0.080, 200000}, {"pat", OriginWestern, 0.480, 50000},
+
+	// Chinese (romanized pinyin) — low count, ambiguous: the characters
+	// carry the gender, the romanization does not.
+	{"wei", OriginChinese, 0.310, 21000}, {"jun", OriginChinese, 0.250, 15000},
+	{"xin", OriginChinese, 0.480, 12000}, {"yan", OriginChinese, 0.620, 14000},
+	{"li", OriginChinese, 0.450, 26000}, {"ming", OriginChinese, 0.180, 13000},
+	{"hui", OriginChinese, 0.560, 11000}, {"ying", OriginChinese, 0.720, 12000},
+	{"jing", OriginChinese, 0.680, 13000}, {"yu", OriginChinese, 0.400, 18000},
+	{"lei", OriginChinese, 0.240, 14000}, {"fang", OriginChinese, 0.640, 9000},
+	{"hao", OriginChinese, 0.120, 12000}, {"chen", OriginChinese, 0.330, 17000},
+	{"xiao", OriginChinese, 0.470, 11000}, {"lin", OriginChinese, 0.520, 15000},
+	{"feng", OriginChinese, 0.190, 10000}, {"yong", OriginChinese, 0.110, 9000},
+	{"qiang", OriginChinese, 0.060, 8000}, {"ping", OriginChinese, 0.580, 8000},
+	{"hong", OriginChinese, 0.610, 11000}, {"tao", OriginChinese, 0.090, 12000},
+	{"bin", OriginChinese, 0.070, 10000}, {"lan", OriginChinese, 0.830, 6000},
+	{"na", OriginChinese, 0.870, 7000}, {"mei", OriginChinese, 0.840, 8000},
+	{"xue", OriginChinese, 0.690, 7000}, {"ting", OriginChinese, 0.860, 9000},
+	{"qing", OriginChinese, 0.510, 8000}, {"zhen", OriginChinese, 0.370, 7000},
+
+	// Indian.
+	{"priya", OriginIndian, 0.960, 22000}, {"ananya", OriginIndian, 0.950, 9000},
+	{"deepika", OriginIndian, 0.965, 11000}, {"kavita", OriginIndian, 0.955, 9000},
+	{"sunita", OriginIndian, 0.960, 10000}, {"anjali", OriginIndian, 0.955, 12000},
+	{"pooja", OriginIndian, 0.960, 14000}, {"shreya", OriginIndian, 0.950, 11000},
+	{"rahul", OriginIndian, 0.030, 26000}, {"amit", OriginIndian, 0.025, 24000},
+	{"rajesh", OriginIndian, 0.020, 21000}, {"sanjay", OriginIndian, 0.020, 19000},
+	{"vijay", OriginIndian, 0.025, 18000}, {"arun", OriginIndian, 0.030, 16000},
+	{"suresh", OriginIndian, 0.020, 17000}, {"anil", OriginIndian, 0.025, 15000},
+	{"ashok", OriginIndian, 0.020, 13000}, {"prakash", OriginIndian, 0.030, 12000},
+	{"kiran", OriginIndian, 0.420, 15000}, // genuinely unisex
+	{"jyoti", OriginIndian, 0.780, 9000},
+
+	// Japanese (romanized).
+	{"yuki", OriginJapanese, 0.630, 14000}, {"akira", OriginJapanese, 0.130, 12000},
+	{"hiroshi", OriginJapanese, 0.030, 15000}, {"takeshi", OriginJapanese, 0.025, 11000},
+	{"kenji", OriginJapanese, 0.025, 12000}, {"satoshi", OriginJapanese, 0.020, 13000},
+	{"kazuki", OriginJapanese, 0.060, 9000}, {"haruka", OriginJapanese, 0.820, 8000},
+	{"yoko", OriginJapanese, 0.940, 9000}, {"keiko", OriginJapanese, 0.950, 8000},
+	{"naoko", OriginJapanese, 0.945, 7000}, {"yumi", OriginJapanese, 0.940, 7000},
+	{"taro", OriginJapanese, 0.020, 8000}, {"jiro", OriginJapanese, 0.020, 6000},
+	{"makoto", OriginJapanese, 0.240, 9000}, {"kaoru", OriginJapanese, 0.550, 6000},
+
+	// Korean (romanized; given names are frequently unisex in romanized form).
+	{"jiwoo", OriginKorean, 0.570, 6000}, {"minjun", OriginKorean, 0.080, 7000},
+	{"seoyeon", OriginKorean, 0.900, 6000}, {"hyun", OriginKorean, 0.300, 8000},
+	{"sung", OriginKorean, 0.120, 9000}, {"eunji", OriginKorean, 0.880, 5000},
+	{"jihun", OriginKorean, 0.070, 6000}, {"soo", OriginKorean, 0.540, 7000},
+
+	// Arabic.
+	{"mohammed", OriginArabic, 0.010, 40000}, {"ahmed", OriginArabic, 0.012, 36000},
+	{"ali", OriginArabic, 0.030, 32000}, {"omar", OriginArabic, 0.015, 22000},
+	{"hassan", OriginArabic, 0.020, 19000}, {"khalid", OriginArabic, 0.015, 14000},
+	{"fatima", OriginArabic, 0.975, 21000}, {"aisha", OriginArabic, 0.970, 15000},
+	{"layla", OriginArabic, 0.965, 10000}, {"mariam", OriginArabic, 0.970, 12000},
+	{"noor", OriginArabic, 0.680, 9000}, {"samira", OriginArabic, 0.960, 8000},
+	{"youssef", OriginArabic, 0.012, 16000}, {"tariq", OriginArabic, 0.015, 9000},
+	{"zainab", OriginArabic, 0.970, 9000}, {"huda", OriginArabic, 0.960, 6000},
+
+	// Additional Western female (Slavic, Nordic, Romance coverage).
+	{"olga", OriginWestern, 0.992, 120000}, {"irina", OriginWestern, 0.991, 90000},
+	{"natalia", OriginWestern, 0.992, 110000}, {"svetlana", OriginWestern, 0.992, 80000},
+	{"katarzyna", OriginWestern, 0.993, 60000}, {"agnieszka", OriginWestern, 0.992, 50000},
+	{"magdalena", OriginWestern, 0.991, 70000}, {"eva", OriginWestern, 0.990, 120000},
+	{"astrid", OriginWestern, 0.990, 40000}, {"sigrid", OriginWestern, 0.989, 20000},
+	{"helena", OriginWestern, 0.991, 80000}, {"beatriz", OriginWestern, 0.992, 60000},
+	{"francesca", OriginWestern, 0.992, 80000}, {"chiara", OriginWestern, 0.992, 70000},
+	{"giulia", OriginWestern, 0.993, 80000}, {"amelie", OriginWestern, 0.992, 50000},
+	{"charlotte", OriginWestern, 0.992, 140000}, {"emma", OriginWestern, 0.993, 180000},
+	{"nicole", OriginWestern, 0.991, 150000}, {"vanessa", OriginWestern, 0.992, 100000},
+	{"tanja", OriginWestern, 0.990, 40000}, {"mirjam", OriginWestern, 0.989, 20000},
+
+	// Additional Western male.
+	{"sergei", OriginWestern, 0.004, 90000}, {"dmitri", OriginWestern, 0.004, 80000},
+	{"vladimir", OriginWestern, 0.003, 100000}, {"andrei", OriginWestern, 0.004, 90000},
+	{"piotr", OriginWestern, 0.003, 60000}, {"krzysztof", OriginWestern, 0.003, 50000},
+	{"tomasz", OriginWestern, 0.003, 50000}, {"marcin", OriginWestern, 0.003, 50000},
+	{"henri", OriginWestern, 0.004, 40000}, {"olivier", OriginWestern, 0.004, 60000},
+	{"laurent", OriginWestern, 0.005, 60000}, {"mathieu", OriginWestern, 0.004, 50000},
+	{"alessandro", OriginWestern, 0.004, 70000}, {"lorenzo", OriginWestern, 0.004, 60000},
+	{"matteo", OriginWestern, 0.004, 70000}, {"javi", OriginWestern, 0.006, 20000},
+	{"diego", OriginWestern, 0.004, 90000}, {"rafael", OriginWestern, 0.005, 90000},
+	{"gustavo", OriginWestern, 0.004, 50000}, {"thiago", OriginWestern, 0.004, 50000},
+	{"magnus", OriginWestern, 0.003, 30000}, {"bjorn", OriginWestern, 0.003, 30000},
+	{"anders", OriginWestern, 0.003, 40000}, {"mikael", OriginWestern, 0.004, 40000},
+	{"sami", OriginWestern, 0.120, 30000}, {"timo", OriginWestern, 0.005, 30000},
+	{"dirk", OriginWestern, 0.003, 40000}, {"jens", OriginWestern, 0.003, 50000},
+	{"sven", OriginWestern, 0.003, 40000}, {"uwe", OriginWestern, 0.003, 30000},
+
+	// Additional romanized Chinese given names (ambiguity-heavy).
+	{"qi", OriginChinese, 0.440, 10000}, {"rui", OriginChinese, 0.390, 9000},
+	{"bo", OriginChinese, 0.130, 11000}, {"cheng", OriginChinese, 0.150, 10000},
+	{"dong", OriginChinese, 0.100, 9000}, {"gang", OriginChinese, 0.050, 8000},
+	{"heng", OriginChinese, 0.180, 6000}, {"jia", OriginChinese, 0.620, 9000},
+	{"kai", OriginChinese, 0.120, 12000}, {"liang", OriginChinese, 0.110, 10000},
+	{"min", OriginChinese, 0.580, 9000}, {"peng", OriginChinese, 0.080, 10000},
+	{"shan", OriginChinese, 0.660, 7000}, {"tingting", OriginChinese, 0.840, 6000},
+	{"xia", OriginChinese, 0.750, 7000}, {"yun", OriginChinese, 0.560, 8000},
+	{"zhi", OriginChinese, 0.240, 8000}, {"chao", OriginChinese, 0.070, 9000},
+	{"fei", OriginChinese, 0.410, 8000}, {"guang", OriginChinese, 0.060, 6000},
+
+	// Additional Indian names.
+	{"neha", OriginIndian, 0.960, 13000}, {"swati", OriginIndian, 0.955, 9000},
+	{"divya", OriginIndian, 0.960, 11000}, {"lakshmi", OriginIndian, 0.930, 10000},
+	{"meera", OriginIndian, 0.955, 8000}, {"nisha", OriginIndian, 0.955, 8000},
+	{"ravi", OriginIndian, 0.020, 18000}, {"vikram", OriginIndian, 0.020, 14000},
+	{"arjun", OriginIndian, 0.025, 13000}, {"karthik", OriginIndian, 0.020, 12000},
+	{"srinivas", OriginIndian, 0.015, 10000}, {"venkatesh", OriginIndian, 0.015, 9000},
+	{"manish", OriginIndian, 0.020, 12000}, {"deepak", OriginIndian, 0.020, 14000},
+	{"shruti", OriginIndian, 0.950, 8000}, {"ankit", OriginIndian, 0.030, 11000},
+
+	// Additional Japanese names.
+	{"takashi", OriginJapanese, 0.020, 12000}, {"masashi", OriginJapanese, 0.020, 9000},
+	{"koji", OriginJapanese, 0.020, 10000}, {"yusuke", OriginJapanese, 0.020, 10000},
+	{"daisuke", OriginJapanese, 0.020, 9000}, {"shinji", OriginJapanese, 0.025, 8000},
+	{"aiko", OriginJapanese, 0.945, 6000}, {"emi", OriginJapanese, 0.940, 6000},
+	{"mariko", OriginJapanese, 0.950, 7000}, {"sachiko", OriginJapanese, 0.950, 6000},
+	{"shun", OriginJapanese, 0.090, 6000}, {"rin", OriginJapanese, 0.700, 5000},
+
+	// Additional Korean names.
+	{"minseo", OriginKorean, 0.850, 5000}, {"donghyun", OriginKorean, 0.060, 6000},
+	{"jiyoung", OriginKorean, 0.820, 6000}, {"seunghoon", OriginKorean, 0.060, 5000},
+	{"hana", OriginKorean, 0.870, 5000}, {"joon", OriginKorean, 0.100, 6000},
+}
+
+var bankIndex = func() map[string]*NameEntry {
+	m := make(map[string]*NameEntry, len(bank))
+	for i := range bank {
+		m[bank[i].Name] = &bank[i]
+	}
+	return m
+}()
+
+// LookupName returns the bank entry for a forename (case-insensitive),
+// if present.
+func LookupName(name string) (NameEntry, bool) {
+	e, ok := bankIndex[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return NameEntry{}, false
+	}
+	return *e, true
+}
+
+// BankNames returns all bank forenames, sorted, optionally filtered by
+// origin and by dominant gender (Unknown means no gender filter). A name is
+// "dominantly" female when PFemale >= 0.8, male when PFemale <= 0.2.
+func BankNames(origin Origin, dominant Gender) []string {
+	var out []string
+	for i := range bank {
+		e := &bank[i]
+		if e.Origin != origin {
+			continue
+		}
+		switch dominant {
+		case Female:
+			if e.PFemale < 0.8 {
+				continue
+			}
+		case Male:
+			if e.PFemale > 0.2 {
+				continue
+			}
+		}
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AmbiguousNames returns the bank forenames whose PFemale lies strictly
+// between the dominance thresholds — the names automated inference cannot
+// confidently call.
+func AmbiguousNames() []string {
+	var out []string
+	for i := range bank {
+		if bank[i].PFemale > 0.2 && bank[i].PFemale < 0.8 {
+			out = append(out, bank[i].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

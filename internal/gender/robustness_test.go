@@ -1,0 +1,72 @@
+package gender
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestCascadeNeverPanicsOnArbitraryInput: the cascade is exposed to
+// user-supplied names (custom-corpus workflows), so it must be total over
+// arbitrary strings and country codes.
+func TestCascadeNeverPanicsOnArbitraryInput(t *testing.T) {
+	c := Cascade{Automated: BankGenderizer{}}
+	f := func(forename, country string, truthRaw uint8, pronoun, photo bool) bool {
+		truth := Gender(truthRaw % 3)
+		ev := WebEvidence{HasPronounPage: pronoun, HasPhoto: photo}
+		a := c.Assign(truth, ev, forename, country, nil)
+		// Result is always one of the three genders with a consistent
+		// method.
+		switch a.Gender {
+		case Female, Male:
+			if a.Method == MethodNone {
+				return false
+			}
+		case Unknown:
+			if a.Method != MethodNone {
+				return false
+			}
+		default:
+			return false
+		}
+		// Manual assignments only happen with conclusive evidence and a
+		// known truth.
+		if a.Method == MethodManual && (!ev.Conclusive() || !truth.Known()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGenderizerTotalOverArbitraryStrings: the service never returns a
+// malformed response for any input.
+func TestGenderizerTotalOverArbitraryStrings(t *testing.T) {
+	g := BankGenderizer{}
+	f := func(name, country string) bool {
+		r := g.Infer(name, country)
+		if r.Gender.Known() {
+			return r.Probability >= 0.5 && r.Probability <= 1 && r.Count >= 1
+		}
+		return r.Count == 0 && r.Probability == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForenameTotal: forename extraction never panics and never returns a
+// bare initial.
+func TestForenameTotal(t *testing.T) {
+	f := func(name string) bool {
+		fn := Forename(name)
+		if fn == "" {
+			return true
+		}
+		return len([]rune(fn)) > 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

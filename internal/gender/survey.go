@@ -1,0 +1,85 @@
+package gender
+
+import (
+	"errors"
+	"math/rand/v2"
+)
+
+// The paper validated its manual gender assignments with an author survey:
+// "based on a separate author survey we conducted where we found no
+// discrepancies between assigned gender and self-selected gender, we
+// believe such errors to be limited." This file simulates that validation
+// step: sample respondents, collect self-identified gender, and compare
+// against the pipeline's assignments.
+
+// SurveyRecord pairs one respondent's assigned gender with their
+// self-reported gender.
+type SurveyRecord struct {
+	Assigned Gender
+	Reported Gender
+}
+
+// Discrepant reports whether the assignment disagrees with the
+// self-report (only when both are known; a declined self-report is not a
+// discrepancy).
+func (r SurveyRecord) Discrepant() bool {
+	return r.Assigned.Known() && r.Reported.Known() && r.Assigned != r.Reported
+}
+
+// SurveyResult summarizes a validation survey.
+type SurveyResult struct {
+	Invited       int
+	Responded     int
+	Declined      int // responded but declined the gender question
+	Discrepancies int
+}
+
+// ResponseRate returns Responded/Invited (0 for an empty survey).
+func (r SurveyResult) ResponseRate() float64 { return frac(r.Responded, r.Invited) }
+
+// DiscrepancyRate returns Discrepancies over answered responses.
+func (r SurveyResult) DiscrepancyRate() float64 {
+	return frac(r.Discrepancies, r.Responded-r.Declined)
+}
+
+// Survey simulates inviting a sample of the population with the given
+// true and assigned genders.
+type Survey struct {
+	ResponseRate float64 // probability an invitee responds
+	DeclineRate  float64 // probability a respondent declines the question
+}
+
+// Run invites every (truth, assigned) pair, simulating response and
+// decline behaviour with rng. Respondents self-report their true gender
+// faithfully, so discrepancies surface exactly the pipeline's assignment
+// errors — the property the paper's survey exploited.
+func (s Survey) Run(rng *rand.Rand, truths, assigned []Gender) (SurveyResult, []SurveyRecord, error) {
+	if len(truths) != len(assigned) {
+		return SurveyResult{}, nil, errors.New("gender: truths and assignments length mismatch")
+	}
+	if s.ResponseRate < 0 || s.ResponseRate > 1 || s.DeclineRate < 0 || s.DeclineRate > 1 {
+		return SurveyResult{}, nil, errors.New("gender: survey rates must be in [0, 1]")
+	}
+	if rng == nil {
+		return SurveyResult{}, nil, errors.New("gender: nil rng")
+	}
+	var res SurveyResult
+	var records []SurveyRecord
+	for i := range truths {
+		res.Invited++
+		if rng.Float64() >= s.ResponseRate {
+			continue
+		}
+		res.Responded++
+		rec := SurveyRecord{Assigned: assigned[i], Reported: truths[i]}
+		if rng.Float64() < s.DeclineRate {
+			rec.Reported = Unknown
+			res.Declined++
+		}
+		if rec.Discrepant() {
+			res.Discrepancies++
+		}
+		records = append(records, rec)
+	}
+	return res, records, nil
+}

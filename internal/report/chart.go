@@ -1,0 +1,165 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// BarChart renders labeled horizontal bars — the text analog of the
+// paper's ratio figures.
+type BarChart struct {
+	Title string
+	Width int // bar width in characters at full scale (default 40)
+	rows  []barRow
+	max   float64
+}
+
+type barRow struct {
+	label string
+	value float64
+	note  string
+}
+
+// NewBarChart creates a chart; values are scaled to the maximum bar.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, Width: 40}
+}
+
+// Add appends a bar with a trailing note (typically the exact percentage).
+func (b *BarChart) Add(label string, value float64, note string) {
+	if math.IsNaN(value) || value < 0 {
+		value = 0
+	}
+	b.rows = append(b.rows, barRow{label, value, note})
+	if value > b.max {
+		b.max = value
+	}
+}
+
+// RenderTo writes the chart.
+func (b *BarChart) RenderTo(w io.Writer) error {
+	labelW := 0
+	for _, r := range b.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title)
+		sb.WriteByte('\n')
+	}
+	for _, r := range b.rows {
+		n := 0
+		if b.max > 0 {
+			n = int(math.Round(r.value / b.max * float64(b.Width)))
+		}
+		sb.WriteString(fmt.Sprintf("%-*s |%s%s %s\n",
+			labelW, r.label, strings.Repeat("#", n), strings.Repeat(" ", b.Width-n), r.note))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Render returns the chart as a string.
+func (b *BarChart) Render() string {
+	var sb strings.Builder
+	if err := b.RenderTo(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// LinePlot renders one or more (x, y) series on a shared character grid —
+// the text analog of the paper's density plots. Distinct series use
+// distinct glyphs.
+type LinePlot struct {
+	Title  string
+	Rows   int // grid height (default 16)
+	Cols   int // grid width (default 72)
+	series []plotSeries
+}
+
+type plotSeries struct {
+	label string
+	xs    []float64
+	ys    []float64
+	glyph byte
+}
+
+var plotGlyphs = []byte{'*', '+', 'o', 'x', '@', '%'}
+
+// NewLinePlot creates a plot with default dimensions.
+func NewLinePlot(title string) *LinePlot {
+	return &LinePlot{Title: title, Rows: 16, Cols: 72}
+}
+
+// AddSeries appends a series; xs and ys must have equal nonzero length.
+func (p *LinePlot) AddSeries(label string, xs, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q has %d/%d points", label, len(xs), len(ys))
+	}
+	glyph := plotGlyphs[len(p.series)%len(plotGlyphs)]
+	p.series = append(p.series, plotSeries{label, xs, ys, glyph})
+	return nil
+}
+
+// RenderTo writes the plot with a legend and axis annotations.
+func (p *LinePlot) RenderTo(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("report: plot %q has no series", p.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := 0.0
+	for _, s := range p.series {
+		for i := range s.xs {
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	if xmax == xmin || ymax == 0 {
+		return fmt.Errorf("report: plot %q has a degenerate range", p.Title)
+	}
+	grid := make([][]byte, p.Rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Cols))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			col := int((s.xs[i] - xmin) / (xmax - xmin) * float64(p.Cols-1))
+			row := p.Rows - 1 - int(s.ys[i]/ymax*float64(p.Rows-1))
+			if col >= 0 && col < p.Cols && row >= 0 && row < p.Rows {
+				grid[row][col] = s.glyph
+			}
+		}
+	}
+	var sb strings.Builder
+	if p.Title != "" {
+		sb.WriteString(p.Title)
+		sb.WriteByte('\n')
+	}
+	for _, s := range p.series {
+		sb.WriteString(fmt.Sprintf("  %c = %s\n", s.glyph, s.label))
+	}
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+" + strings.Repeat("-", p.Cols) + "\n")
+	sb.WriteString(fmt.Sprintf(" x: [%.3g, %.3g]  peak density: %.4g\n", xmin, xmax, ymax))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Render returns the plot as a string ("" on error).
+func (p *LinePlot) Render() string {
+	var sb strings.Builder
+	if err := p.RenderTo(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}

@@ -1,0 +1,174 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ExportCSVs writes the paper's exhibits as machine-readable CSV files
+// into dir — the results-artifact counterpart to the corpus CSVs: one file
+// per exhibit family, values unrounded.
+func ExportCSVs(dir string, d *dataset.Dataset, scID dataset.ConfID) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	exports := []struct {
+		file string
+		fn   func() ([][]string, error)
+	}{
+		{"far_per_conference.csv", func() ([][]string, error) { return farRows(d) }},
+		{"role_representation.csv", func() ([][]string, error) { return roleRows(d) }},
+		{"countries.csv", func() ([][]string, error) { return countryRows(d) }},
+		{"regions.csv", func() ([][]string, error) { return regionRows(d) }},
+		{"sectors.csv", func() ([][]string, error) { return sectorRows(d) }},
+		{"experience_bands.csv", func() ([][]string, error) { return bandRows(d) }},
+		{"citations.csv", func() ([][]string, error) { return citationRows(d) }},
+		{"trend.csv", func() ([][]string, error) { return trendRows(d) }},
+	}
+	for _, e := range exports {
+		rows, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("report: exporting %s: %w", e.file, err)
+		}
+		if err := writeCSV(filepath.Join(dir, e.file), rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+func farRows(d *dataset.Dataset) ([][]string, error) {
+	far := core.AuthorFAR(d)
+	rows := [][]string{{"conference", "women", "known", "far", "unknown"}}
+	for _, r := range far.PerConf {
+		rows = append(rows, []string{
+			r.Name, strconv.Itoa(r.Ratio.K), strconv.Itoa(r.Ratio.N),
+			ftoa(r.Ratio.Ratio()), strconv.Itoa(r.Unknown),
+		})
+	}
+	rows = append(rows, []string{"ALL", strconv.Itoa(far.Overall.K),
+		strconv.Itoa(far.Overall.N), ftoa(far.Overall.Ratio()), strconv.Itoa(far.Unknown)})
+	return rows, nil
+}
+
+func roleRows(d *dataset.Dataset) ([][]string, error) {
+	tab := core.RoleRepresentation(d)
+	rows := [][]string{{"conference", "role", "women", "known", "ratio"}}
+	for _, c := range tab.Cells {
+		rows = append(rows, []string{
+			string(c.Conf), c.Role.String(),
+			strconv.Itoa(c.Ratio.K), strconv.Itoa(c.Ratio.N), ftoa(c.Ratio.Ratio()),
+		})
+	}
+	return rows, nil
+}
+
+func countryRows(d *dataset.Dataset) ([][]string, error) {
+	rows := [][]string{{"country", "women", "known", "ratio", "total"}}
+	for _, r := range core.TopCountries(d, 0) {
+		rows = append(rows, []string{
+			r.Code, strconv.Itoa(r.Ratio.K), strconv.Itoa(r.Ratio.N),
+			ftoa(r.Ratio.Ratio()), strconv.Itoa(r.Total),
+		})
+	}
+	return rows, nil
+}
+
+func regionRows(d *dataset.Dataset) ([][]string, error) {
+	rows := [][]string{{"region", "author_women", "author_total", "pc_women", "pc_total"}}
+	for _, r := range core.RegionRoleTable(d) {
+		rows = append(rows, []string{
+			r.Region,
+			strconv.Itoa(r.Authors.K), strconv.Itoa(r.Authors.N),
+			strconv.Itoa(r.PC.K), strconv.Itoa(r.PC.N),
+		})
+	}
+	return rows, nil
+}
+
+func sectorRows(d *dataset.Dataset) ([][]string, error) {
+	r, err := core.SectorRepresentation(d)
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"sector", "role", "women", "known", "ratio"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Sector.String(), c.Role.String(),
+			strconv.Itoa(c.Ratio.K), strconv.Itoa(c.Ratio.N), ftoa(c.Ratio.Ratio()),
+		})
+	}
+	return rows, nil
+}
+
+func bandRows(d *dataset.Dataset) ([][]string, error) {
+	r, err := core.ExperienceBands(d)
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"population", "gender", "novice", "mid_career", "experienced", "total"}}
+	for name, cells := range map[string][]core.BandCell{"all": r.All, "authors": r.Authors} {
+		for _, c := range cells {
+			rows = append(rows, []string{
+				name, c.Gender.String(),
+				strconv.Itoa(c.Counts[0]), strconv.Itoa(c.Counts[1]),
+				strconv.Itoa(c.Counts[2]), strconv.Itoa(c.Total),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func citationRows(d *dataset.Dataset) ([][]string, error) {
+	rows := [][]string{{"paper", "conference", "lead_gender", "citations36", "hpc_topic"}}
+	for _, p := range d.Papers {
+		lead, ok := d.Person(p.Lead())
+		g := "unknown"
+		if ok {
+			g = lead.Gender.String()
+		}
+		rows = append(rows, []string{
+			string(p.ID), string(p.Conf), g,
+			strconv.Itoa(p.Citations36), strconv.FormatBool(p.HPCTopic),
+		})
+	}
+	return rows, nil
+}
+
+func trendRows(d *dataset.Dataset) ([][]string, error) {
+	rows := [][]string{{"series", "year", "women", "known", "far", "attendance"}}
+	for _, p := range core.FlagshipTrend(d) {
+		rows = append(rows, []string{
+			p.Series, strconv.Itoa(p.Year),
+			strconv.Itoa(p.FAR.K), strconv.Itoa(p.FAR.N),
+			ftoa(p.FAR.Ratio()), ftoa(p.Attendance),
+		})
+	}
+	return rows, nil
+}

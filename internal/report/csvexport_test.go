@@ -1,0 +1,105 @@
+package report
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestExportCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExportCSVs(dir, corpus.Data, "SC17"); err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := []string{
+		"far_per_conference.csv", "role_representation.csv", "countries.csv",
+		"regions.csv", "sectors.csv", "experience_bands.csv",
+		"citations.csv", "trend.csv",
+	}
+	for _, f := range wantFiles {
+		path := filepath.Join(dir, f)
+		fh, err := os.Open(path)
+		if err != nil {
+			t.Errorf("missing export %s: %v", f, err)
+			continue
+		}
+		rows, err := csv.NewReader(fh).ReadAll()
+		fh.Close()
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s has no data rows", f)
+		}
+		// Every row has the header arity.
+		for i, row := range rows {
+			if len(row) != len(rows[0]) {
+				t.Errorf("%s row %d: %d cells vs header %d", f, i, len(row), len(rows[0]))
+			}
+		}
+	}
+}
+
+func TestExportCSVsFARConsistency(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExportCSVs(dir, corpus.Data, "SC17"); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(filepath.Join(dir, "far_per_conference.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	rows, err := csv.NewReader(fh).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 conferences + header + ALL row.
+	if len(rows) != 11 {
+		t.Fatalf("%d rows, want 11", len(rows))
+	}
+	// The ALL row equals the sum of the per-conference rows.
+	var sumW, sumN int
+	var allW, allN int
+	for _, row := range rows[1:] {
+		w, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] == "ALL" {
+			allW, allN = w, n
+			continue
+		}
+		sumW += w
+		sumN += n
+	}
+	if sumW != allW || sumN != allN {
+		t.Errorf("per-conference sums (%d/%d) != ALL row (%d/%d)", sumW, sumN, allW, allN)
+	}
+}
+
+func TestExportCSVsCitationsCoverAllPapers(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExportCSVs(dir, corpus.Data, "SC17"); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(filepath.Join(dir, "citations.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	rows, err := csv.NewReader(fh).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows)-1 != len(corpus.Data.Papers) {
+		t.Errorf("%d citation rows for %d papers", len(rows)-1, len(corpus.Data.Papers))
+	}
+}

@@ -1,0 +1,376 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/affil"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Table1 renders the paper's Table 1: the conference list with dates,
+// paper/author counts, acceptance rates and host countries.
+func Table1(w io.Writer, d *dataset.Dataset) error {
+	t := NewTable("Conference", "Date", "Papers", "Authors", "Acceptance", "Country").
+		AlignRight(2, 3, 4)
+	for _, c := range d.Conferences {
+		if err := t.AddRow(
+			c.Name,
+			c.Date.Format("2006-01-02"),
+			strconv.Itoa(len(d.PapersOf(c.ID))),
+			strconv.Itoa(len(d.AuthorSlots(c.ID))),
+			fmt.Sprintf("%.3f", c.AcceptanceRate),
+			c.CountryCode,
+		); err != nil {
+			return err
+		}
+	}
+	return t.RenderTo(w)
+}
+
+// Fig1 renders the representation of women across conference roles as one
+// bar chart per role, plus the first/last author panels and a compact
+// conference x role matrix.
+func Fig1(w io.Writer, d *dataset.Dataset) error {
+	tab := core.RoleRepresentation(d)
+	for _, role := range dataset.Roles() {
+		chart := NewBarChart(fmt.Sprintf("Fig 1 — %% women among %ss", role))
+		for _, cell := range tab.Cells {
+			if cell.Role != role {
+				continue
+			}
+			chart.Add(cell.Name, cell.Ratio.Ratio(), cell.Ratio.String())
+		}
+		overall := tab.Overall[role]
+		chart.Add("ALL", overall.Ratio(), overall.String())
+		if err := chart.RenderTo(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, panel := range []struct {
+		title   string
+		pick    func(core.PositionCell) stats.Proportion
+		overall stats.Proportion
+	}{
+		{"Fig 1 — % women among first authors",
+			func(p core.PositionCell) stats.Proportion { return p.Lead }, tab.OverallLead},
+		{"Fig 1 — % women among last authors",
+			func(p core.PositionCell) stats.Proportion { return p.Last }, tab.OverallLast},
+	} {
+		chart := NewBarChart(panel.title)
+		for _, p := range tab.Positions {
+			prop := panel.pick(p)
+			chart.Add(p.Name, prop.Ratio(), prop.String())
+		}
+		chart.Add("ALL", panel.overall.Ratio(), panel.overall.String())
+		if err := chart.RenderTo(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return Fig1Matrix(w, tab, d)
+}
+
+// Fig1Matrix renders the whole figure as one conference x role percentage
+// table.
+func Fig1Matrix(w io.Writer, tab core.RoleTable, d *dataset.Dataset) error {
+	headers := []string{"Conference"}
+	for _, role := range dataset.Roles() {
+		headers = append(headers, role.String())
+	}
+	headers = append(headers, "first author", "last author")
+	t := NewTable(headers...).AlignRight(1, 2, 3, 4, 5, 6, 7, 8)
+	for _, c := range d.Conferences {
+		row := []string{c.Name}
+		for _, role := range dataset.Roles() {
+			cell, ok := tab.Cell(c.ID, role)
+			if !ok {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, Pct(cell.Ratio.Ratio()))
+		}
+		for _, p := range tab.Positions {
+			if p.Conf == c.ID {
+				row = append(row, Pct(p.Lead.Ratio()), Pct(p.Last.Ratio()))
+				break
+			}
+		}
+		if err := t.AddRow(row...); err != nil {
+			return err
+		}
+	}
+	return t.RenderTo(w)
+}
+
+// Sec31 renders the §3.1 author analysis: overall FAR, per conference,
+// blind-review and position comparisons.
+func Sec31(w io.Writer, d *dataset.Dataset) error {
+	far := core.AuthorFAR(d)
+	fmt.Fprintf(w, "Authors: %d slots, %d unique; overall FAR %s (%d unknown gender)\n",
+		far.TotalSlots, far.UniqueN, far.Overall, far.Unknown)
+	for _, row := range far.PerConf {
+		fmt.Fprintf(w, "  %-10s FAR %s\n", row.Name, row.Ratio)
+	}
+	blind, err := core.CompareBlindReview(d)
+	switch {
+	case errors.Is(err, core.ErrNotApplicable):
+		fmt.Fprintf(w, "Blind-review comparison skipped: %v\n", err)
+	case err != nil:
+		return err
+	default:
+		fmt.Fprintf(w, "Double-blind FAR %s vs single-blind %s — %s\n",
+			blind.DoubleBlind, blind.SingleBlind, blind.Test)
+		fmt.Fprintf(w, "Lead authors: double-blind %s vs single-blind %s — %s\n",
+			blind.LeadDouble, blind.LeadSingle, blind.LeadTest)
+	}
+	pos, err := core.CompareAuthorPositions(d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Positions: lead %s, last %s, overall %s — last vs overall %s\n",
+		pos.Lead, pos.Last, pos.Overall, pos.LastTest)
+	return nil
+}
+
+// Sec32 renders the §3.2 program-committee analysis.
+func Sec32(w io.Writer, d *dataset.Dataset, scID dataset.ConfID) error {
+	pc, err := core.ProgramCommittee(d, scID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "PC members: %d slots (%d unique); women %s\n",
+		pc.SlotsTotal, pc.UniqueTotal, pc.Overall)
+	if scID != "" {
+		fmt.Fprintf(w, "  SC: %s; excluding SC: %s\n", pc.SC, pc.ExcludingSC)
+	}
+	fmt.Fprintf(w, "  vs authors: %s\n", pc.VsAuthors)
+	fmt.Fprintf(w, "PC chairs: %d women of %d; conferences with zero women chairs: %v\n",
+		pc.ChairWomen, pc.ChairsTotal, pc.ZeroWomenChairConfs)
+	return nil
+}
+
+// Sec33 renders the §3.3 visible-roles analysis.
+func Sec33(w io.Writer, d *dataset.Dataset) error {
+	for _, r := range core.VisibleRoles(d) {
+		fmt.Fprintf(w, "%-14s %d women of %d; zero-women conferences: %v; best: %s (%s)\n",
+			r.Role.String()+"s:", r.Women, r.Total, r.ZeroWomenConf, r.BestConf, r.BestRatio)
+	}
+	return nil
+}
+
+// Sec34 renders the §3.4 flagship time series.
+func Sec34(w io.Writer, d *dataset.Dataset) error {
+	points := core.FlagshipTrend(d)
+	t := NewTable("Series", "Year", "FAR", "Lead FAR", "Attendance").AlignRight(1, 2, 3, 4)
+	for _, p := range points {
+		att := "unshared"
+		if p.Attendance > 0 {
+			att = Pct(p.Attendance)
+		}
+		if err := t.AddRow(p.Series, strconv.Itoa(p.Year), Pct(p.FAR.Ratio()), Pct(p.LeadFAR.Ratio()), att); err != nil {
+			return err
+		}
+	}
+	if err := t.RenderTo(w); err != nil {
+		return err
+	}
+	for _, s := range core.TrendSummary(points) {
+		fmt.Fprintf(w, "%s FAR range over %d years: %s – %s\n",
+			s.Series, s.Years, Pct(s.MinFAR), Pct(s.MaxFAR))
+	}
+	return nil
+}
+
+// Sec41 renders the §4.1 HPC-only topic analysis.
+func Sec41(w io.Writer, d *dataset.Dataset) error {
+	r, err := core.HPCOnlySubset(d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "HPC-tagged papers: %d of %d\n", r.HPCPapers, r.TotalPapers)
+	fmt.Fprintf(w, "Authors: HPC-only %s vs all %s — %s\n", r.HPCAuthors, r.AllAuthors, r.AuthorTest)
+	fmt.Fprintf(w, "Leads:   HPC-only %s vs all %s — %s\n", r.HPCLead, r.AllLead, r.LeadTest)
+	return nil
+}
+
+// Fig2 renders the §4.2 citation reception analysis with density curves.
+func Fig2(w io.Writer, d *dataset.Dataset) error {
+	r, err := core.CitationReception(d, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Papers with gendered lead: %d female-led, %d male-led\n",
+		r.FemaleLedPapers, r.MaleLedPapers)
+	fmt.Fprintf(w, "Mean citations at 36 months: female %.2f vs male %.2f\n", r.MeanFemale, r.MeanMale)
+	fmt.Fprintf(w, "Excluding %d outlier(s) above %d citations: female %.2f — %s\n",
+		r.OutliersExcluded, r.OutlierThreshold, r.MeanFemaleExclOut, r.WelchExclOutlier)
+	fmt.Fprintf(w, "i10 attainment: female-led %s vs male-led %s — %s\n",
+		r.I10Female, r.I10Male, r.I10Test)
+	plot := NewLinePlot("Fig 2 — citation density at 36 months by lead gender")
+	for _, c := range r.Densities {
+		if err := plot.AddSeries(c.Label, c.X, c.Y); err != nil {
+			return err
+		}
+	}
+	return plot.RenderTo(w)
+}
+
+// ExperienceFig renders one of Figs 3-5 (by metric) as density plots plus
+// summary rows.
+func ExperienceFig(w io.Writer, d *dataset.Dataset, m core.Metric) error {
+	samples, err := core.ExperienceDistributions(d, m)
+	if err != nil {
+		return err
+	}
+	plot := NewLinePlot(fmt.Sprintf("Distribution of %s by gender and role", m))
+	t := NewTable("Group", "N", "Median", "Mean", "Skewness").AlignRight(1, 2, 3, 4)
+	for _, s := range samples {
+		if err := plot.AddSeries(s.Density.Label, s.Density.X, s.Density.Y); err != nil {
+			return err
+		}
+		if err := t.AddRow(s.Density.Label, strconv.Itoa(s.Summary.N),
+			fmt.Sprintf("%.1f", s.Summary.Median),
+			fmt.Sprintf("%.1f", s.Summary.Mean),
+			fmt.Sprintf("%.2f", s.Summary.Skewness)); err != nil {
+			return err
+		}
+	}
+	if err := t.RenderTo(w); err != nil {
+		return err
+	}
+	return plot.RenderTo(w)
+}
+
+// Fig6 renders the experience-band stratification and the novice-gap test.
+func Fig6(w io.Writer, d *dataset.Dataset) error {
+	r, err := core.ExperienceBands(d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Google Scholar coverage among known-gender researchers: %s\n", Pct(r.GSCoverage))
+	chart := NewBarChart("Fig 6 — experience bands by gender (all researchers)")
+	for _, cell := range r.All {
+		for band, label := range []string{"novice", "mid-career", "experienced"} {
+			share := float64(cell.Counts[band]) / float64(max(cell.Total, 1))
+			chart.Add(fmt.Sprintf("%s %s", cell.Gender, label), share,
+				fmt.Sprintf("%d/%d (%s)", cell.Counts[band], cell.Total, Pct(share)))
+		}
+	}
+	if err := chart.RenderTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Novice authors: female %s vs male %s — %s\n",
+		r.NoviceFemale, r.NoviceMale, r.NoviceTest)
+	return nil
+}
+
+// Table2 renders the top-ten-countries table.
+func Table2(w io.Writer, d *dataset.Dataset) error {
+	t := NewTable("Country", "% Women", "Total").AlignRight(1, 2)
+	for _, row := range core.TopCountries(d, 10) {
+		if err := t.AddRow(row.Name, Pct(row.Ratio.Ratio()), strconv.Itoa(row.Total)); err != nil {
+			return err
+		}
+	}
+	return t.RenderTo(w)
+}
+
+// Fig7 renders women's representation for countries with >= 10 authors.
+func Fig7(w io.Writer, d *dataset.Dataset) error {
+	chart := NewBarChart("Fig 7 — % women for countries with at least 10 authors")
+	for _, row := range core.CountriesWithMinAuthors(d, 10) {
+		chart.Add(row.Name, row.Ratio.Ratio(), row.Ratio.String())
+	}
+	return chart.RenderTo(w)
+}
+
+// Table3 renders representation of women by region and role.
+func Table3(w io.Writer, d *dataset.Dataset) error {
+	t := NewTable("Region", "Authors % Women", "Authors Total", "PC % Women", "PC Total").
+		AlignRight(1, 2, 3, 4)
+	for _, row := range core.RegionRoleTable(d) {
+		if err := t.AddRow(row.Region,
+			Pct(row.Authors.Ratio()), strconv.Itoa(row.Authors.N),
+			Pct(row.PC.Ratio()), strconv.Itoa(row.PC.N)); err != nil {
+			return err
+		}
+	}
+	if err := t.RenderTo(w); err != nil {
+		return err
+	}
+	g := core.Concentration(d)
+	fmt.Fprintf(w, "US share: authors %s, PC %s; Western Europe: authors %s, PC %s\n",
+		Pct(g.USAuthors), Pct(g.USPC), Pct(g.WEAuthors), Pct(g.WEPC))
+	return nil
+}
+
+// Fig8 renders representation of women by sector and role.
+func Fig8(w io.Writer, d *dataset.Dataset) error {
+	r, err := core.SectorRepresentation(d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Sector mix: EDU %s, COM %s, GOV %s\n",
+		Pct(r.MixEDU), Pct(r.MixCOM), Pct(r.MixGOV))
+	chart := NewBarChart("Fig 8 — % women by sector and role")
+	for _, role := range []dataset.Role{dataset.RoleAuthor, dataset.RolePCMember} {
+		for _, sector := range []affil.Sector{affil.COM, affil.EDU, affil.GOV} {
+			if cell, ok := r.Cell(sector, role); ok {
+				chart.Add(fmt.Sprintf("%s %s", cell.Sector, role), cell.Ratio.Ratio(), cell.Ratio.String())
+			}
+		}
+	}
+	if err := chart.RenderTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "PC sector test: %s\nAuthor sector test: %s\n", r.PCTest, r.AuthorTest)
+	return nil
+}
+
+// Sensitivity renders the Limitations-section sensitivity analysis.
+func Sensitivity(w io.Writer, d *dataset.Dataset, scID dataset.ConfID) error {
+	r, err := core.SensitivityAnalysis(d, scID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Unknown-gender researchers forced: %d\n", r.UnknownCount)
+	t := NewTable("Observation", "Baseline", "All-women", "All-men").AlignRight(1, 2, 3)
+	for i, obs := range r.Baseline {
+		row := func(o core.Observation) string {
+			sig := ""
+			if o.Significant {
+				sig = "*"
+			}
+			return fmt.Sprintf("%+.4f (p=%.3g)%s", o.Effect, o.P, sig)
+		}
+		if err := t.AddRow(obs.Name, row(obs), row(r.AllWomen[i]), row(r.AllMen[i])); err != nil {
+			return err
+		}
+	}
+	if err := t.RenderTo(w); err != nil {
+		return err
+	}
+	if r.Stable {
+		fmt.Fprintln(w, "No observation changed direction or significance (matches the paper).")
+	} else {
+		fmt.Fprintf(w, "Observations that flipped: %v\n", r.Flips)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

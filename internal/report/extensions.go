@@ -1,0 +1,196 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Collaboration renders the future-work coauthorship-network analysis.
+func Collaboration(w io.Writer, d *dataset.Dataset) error {
+	r, err := core.CollaborationPatterns(d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Coauthorship graph: %d authors, %d coauthor pairs; giant component %s of nodes\n",
+		r.Nodes, r.Edges, Pct(r.GiantFraction))
+	fmt.Fprintf(w, "Gender mixing: %d FF / %d FM / %d MM edges; assortativity %+.4f\n",
+		r.Mixing.FF, r.Mixing.FM, r.Mixing.MM, r.Mixing.Assortativity)
+	fmt.Fprintf(w, "  mixed-gender edge share: observed %s vs %s expected under random mixing\n",
+		Pct(r.Mixing.ObservedFMShare), Pct(r.Mixing.ExpectedFMShare))
+	fmt.Fprintf(w, "Distinct collaborators: women mean %.2f (median %.0f, n=%d) vs men mean %.2f (median %.0f, n=%d)\n",
+		r.Degrees.FemaleMean, r.Degrees.FemaleMedian, r.Degrees.FemaleN,
+		r.Degrees.MaleMean, r.Degrees.MaleMedian, r.Degrees.MaleN)
+	fmt.Fprintf(w, "  Mann-Whitney: z = %.3f, p = %.4g, rank-biserial %+.3f\n",
+		r.Degrees.MannWhitney.Z, r.Degrees.MannWhitney.P, r.Degrees.MannWhitney.RankBiserial)
+	fmt.Fprintf(w, "Team size: female-led %.2f (n=%d) vs male-led %.2f (n=%d) — %s\n",
+		r.Teams.FemaleLedMean, r.Teams.FemaleLedN,
+		r.Teams.MaleLedMean, r.Teams.MaleLedN, r.Teams.Welch)
+	return nil
+}
+
+// Multiplicity renders the Holm-Bonferroni correction over the paper's
+// test family.
+func Multiplicity(w io.Writer, d *dataset.Dataset, scID dataset.ConfID) error {
+	r, err := core.FamilyCorrection(d, scID, 0)
+	if err != nil {
+		return err
+	}
+	t := NewTable("Hypothesis", "p", "raw", "Holm").AlignRight(1)
+	mark := func(b bool) string {
+		if b {
+			return "reject"
+		}
+		return "keep"
+	}
+	for _, test := range r.Tests {
+		if err := t.AddRow(test.Name, fmt.Sprintf("%.4g", test.P),
+			mark(test.RawReject), mark(test.HolmReject)); err != nil {
+			return err
+		}
+	}
+	if err := t.RenderTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "alpha = %g: %d raw rejections, %d survive Holm-Bonferroni\n",
+		r.Alpha, r.RawRejections, r.Survivors)
+	return nil
+}
+
+// Policy renders the diversity-initiative contrast with Newcombe CIs on
+// the differences.
+func Policy(w io.Writer, d *dataset.Dataset) error {
+	r, err := core.DiversityPolicy(d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Diversity-chair venues: %v\n", r.WithPolicy)
+	fmt.Fprintf(w, "Authors: with policy %s vs without %s — %s\n",
+		r.FARWith, r.FARWithout, r.FARTest)
+	if lo, hi, err := stats.DiffProportionCI(r.FARWith, r.FARWithout, 0.95); err == nil {
+		fmt.Fprintf(w, "  95%% CI for the difference: [%+.4f, %+.4f]\n", lo, hi)
+	}
+	fmt.Fprintf(w, "Invited roles: with policy %s vs without %s — %s\n",
+		r.InvitedWith, r.InvitedWithout, r.InvitedTest)
+	if lo, hi, err := stats.DiffProportionCI(r.InvitedWith, r.InvitedWithout, 0.95); err == nil {
+		fmt.Fprintf(w, "  95%% CI for the difference: [%+.4f, %+.4f]\n", lo, hi)
+	}
+	return nil
+}
+
+// ConferenceProfiles renders the one-stop per-conference summary table.
+func ConferenceProfiles(w io.Writer, d *dataset.Dataset) error {
+	profiles, err := core.ProfileAll(d)
+	if err != nil {
+		return err
+	}
+	t := NewTable("Conference", "FAR", "Lead", "Last", "PC", "Team", ">=1 woman", "Mean cites").
+		AlignRight(1, 2, 3, 4, 5, 6, 7)
+	for _, p := range profiles {
+		if err := t.AddRow(p.Name,
+			Pct(p.FAR.Ratio()), Pct(p.LeadFAR.Ratio()), Pct(p.LastFAR.Ratio()),
+			Pct(p.PC.Ratio()),
+			fmt.Sprintf("%.2f", p.MeanTeamSize),
+			Pct(p.PapersWithWomen.Ratio()),
+			fmt.Sprintf("%.1f", p.MeanCitations)); err != nil {
+			return err
+		}
+	}
+	return t.RenderTo(w)
+}
+
+// Linkage renders the GS name-disambiguation statistics.
+func Linkage(w io.Writer, d *dataset.Dataset) error {
+	r := core.GSLinkage(d)
+	fmt.Fprintf(w, "Researchers: %d; unambiguous GS profiles: %d (%s)\n",
+		r.Researchers, r.GSLinked, Pct(r.Coverage))
+	fmt.Fprintf(w, "Distinct names: %d; namesake-shared names: %d covering %d researchers\n",
+		r.DistinctNames, r.AmbiguousNames, r.NamesakeClashes)
+	return nil
+}
+
+// Trajectory renders the reception-over-time follow-up.
+func Trajectory(w io.Writer, d *dataset.Dataset) error {
+	r, err := core.CitationTrajectory(d, 0)
+	if err != nil {
+		return err
+	}
+	t := NewTable("Month", "Female-led mean", "Male-led mean", "Gap").AlignRight(0, 1, 2, 3)
+	for _, p := range r.Points {
+		if err := t.AddRow(
+			fmt.Sprintf("%.0f", p.Month),
+			fmt.Sprintf("%.2f", p.MeanFemale),
+			fmt.Sprintf("%.2f", p.MeanMale),
+			fmt.Sprintf("%+.2f", p.MeanFemale-p.MeanMale)); err != nil {
+			return err
+		}
+	}
+	if err := t.RenderTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(female-led means exclude papers above %d citations, as in §4.2)\n", r.OutlierThreshold)
+	return nil
+}
+
+// DistributionGaps renders the KS formalization of the Figs 3-5 right-shift.
+func DistributionGaps(w io.Writer, d *dataset.Dataset) error {
+	t := NewTable("Metric", "Role", "KS D", "p", "male right-shift").AlignRight(2, 3)
+	for _, m := range []core.Metric{core.MetricGSPublications, core.MetricHIndex, core.MetricS2Publications} {
+		for _, role := range []dataset.Role{dataset.RoleAuthor, dataset.RolePCMember} {
+			gap, err := core.DistributionGap(d, m, role)
+			if err != nil {
+				return err
+			}
+			shift := "no"
+			if gap.MaleShiftRight {
+				shift = "yes"
+			}
+			if err := t.AddRow(m.String(), role.String(),
+				fmt.Sprintf("%.4f", gap.KS.D), fmt.Sprintf("%.4g", gap.KS.P), shift); err != nil {
+				return err
+			}
+		}
+	}
+	return t.RenderTo(w)
+}
+
+// Subfields renders the extended-corpus subfield comparison.
+func Subfields(w io.Writer, d *dataset.Dataset) error {
+	r, err := core.SubfieldComparison(d)
+	if err != nil {
+		return err
+	}
+	chart := NewBarChart("FAR by systems subfield")
+	for _, row := range r.Rows {
+		chart.Add(fmt.Sprintf("%s (%d venues)", row.Subfield, row.Venues),
+			row.FAR.Ratio(), row.FAR.String())
+	}
+	if err := chart.RenderTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "HPC %s vs other systems subfields %s — %s\n",
+		r.HPC, r.Others, r.HPCVsRest)
+	return nil
+}
+
+// TrendRegressionsSection renders the FAR-on-year slope tests for the
+// flagship series.
+func TrendRegressionsSection(w io.Writer, d *dataset.Dataset) error {
+	points := core.FlagshipTrend(d)
+	regs, err := core.TrendRegressions(points)
+	if err != nil {
+		return err
+	}
+	if len(regs) == 0 {
+		_, err := fmt.Fprintln(w, "no series with enough editions for a trend test")
+		return err
+	}
+	for _, reg := range regs {
+		fmt.Fprintf(w, "%s: FAR slope %+.4f pp/year (t = %.3f, p = %.3g, R2 = %.3f) over %d editions\n",
+			reg.Series, 100*reg.Fit.Slope, reg.Fit.T, reg.Fit.P, reg.Fit.R2, reg.Fit.N)
+	}
+	return nil
+}

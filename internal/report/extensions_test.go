@@ -1,0 +1,107 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestCollaborationRenders(t *testing.T) {
+	var b bytes.Buffer
+	if err := Collaboration(&b, corpus.Data); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Coauthorship graph", "assortativity", "Mann-Whitney", "Team size"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestMultiplicityRenders(t *testing.T) {
+	var b bytes.Buffer
+	if err := Multiplicity(&b, corpus.Data, "SC17"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Hypothesis", "Holm", "PC members vs authors", "survive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Exactly 11 hypothesis rows (header + separator + 11 + footer).
+	if got := strings.Count(out, "reject") + strings.Count(out, "keep"); got < 22 {
+		t.Errorf("only %d decision cells rendered", got)
+	}
+}
+
+func TestTrajectoryRenders(t *testing.T) {
+	var b bytes.Buffer
+	if err := Trajectory(&b, corpus.Data); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Month", "36", "Gap", "exclude papers above"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestDistributionGapsRenders(t *testing.T) {
+	var b bytes.Buffer
+	if err := DistributionGaps(&b, corpus.Data); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"KS D", "GS publications", "h-index", "S2 publications", "PC member"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestTrendRegressionsSectionRenders(t *testing.T) {
+	c, err := synth.Generate(synth.FlagshipSeries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := TrendRegressionsSection(&b, c.Data); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SC:", "ISC:", "pp/year"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Single-edition corpus: graceful note, no error.
+	var b2 bytes.Buffer
+	if err := TrendRegressionsSection(&b2, corpus.Data); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "no series") {
+		t.Errorf("single-year corpus should note the missing trend: %q", b2.String())
+	}
+}
+
+func TestSubfieldsRenders(t *testing.T) {
+	c, err := synth.Generate(synth.ExtendedSystems(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := Subfields(&b, c.Data); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FAR by systems subfield", "HPC", "Databases", "vs other systems subfields"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// All-HPC corpus: not-applicable error propagates for the caller.
+	if err := Subfields(&bytes.Buffer{}, corpus.Data); err == nil {
+		t.Error("single-subfield corpus should error")
+	}
+}

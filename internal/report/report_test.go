@@ -1,0 +1,283 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+var corpus = func() *synth.Corpus {
+	c, err := synth.Generate(synth.Default2017(1))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Name", "Value").AlignRight(1)
+	tab.MustAddRow("alpha", "1")
+	tab.MustAddRow("beta-long", "22")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	// Right-aligned column: "1" should end its line (after trim there is
+	// no trailing space, and the value column is flush right).
+	if !strings.HasSuffix(lines[2], " 1") {
+		t.Errorf("right alignment: %q", lines[2])
+	}
+}
+
+func TestTableRowArity(t *testing.T) {
+	tab := NewTable("A", "B")
+	if err := tab.AddRow("1", "2", "3"); err == nil {
+		t.Error("oversized row accepted")
+	}
+	if err := tab.AddRow("only"); err != nil {
+		t.Errorf("short row rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow should panic on arity error")
+		}
+	}()
+	tab.MustAddRow("1", "2", "3")
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.0990); got != "9.90%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(math.NaN()); got != "n/a" {
+		t.Errorf("Pct(NaN) = %q", got)
+	}
+	if got := Pct(1); got != "100.00%" {
+		t.Errorf("Pct(1) = %q", got)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("demo")
+	c.Add("one", 0.5, "50%")
+	c.Add("two", 1.0, "100%")
+	c.Add("nan", math.NaN(), "n/a")
+	out := c.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Full-scale bar has Width hashes; half-scale roughly half.
+	full := strings.Count(lines[2], "#")
+	half := strings.Count(lines[1], "#")
+	if full != 40 {
+		t.Errorf("full bar = %d hashes", full)
+	}
+	if half < 18 || half > 22 {
+		t.Errorf("half bar = %d hashes", half)
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Error("NaN bar should be empty")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	p := NewLinePlot("densities")
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = math.Exp(-float64(i-25) * float64(i-25) / 50)
+	}
+	if err := p.AddSeries("bump", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "* = bump") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no glyphs plotted")
+	}
+	if !strings.Contains(out, "peak density") {
+		t.Error("missing axis annotation")
+	}
+	// Errors.
+	if err := p.AddSeries("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := NewLinePlot("empty")
+	var sb strings.Builder
+	if err := empty.RenderTo(&sb); err == nil {
+		t.Error("empty plot rendered")
+	}
+	flat := NewLinePlot("flat")
+	if err := flat.AddSeries("zero", []float64{1, 2}, []float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.RenderTo(&sb); err == nil {
+		t.Error("degenerate plot rendered")
+	}
+}
+
+func TestAllExhibitsRender(t *testing.T) {
+	d := corpus.Data
+	// Render each exhibit into a buffer and spot-check content.
+	var b bytes.Buffer
+	if err := Table1(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SC", "ISC", "0.187", "Acceptance"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+
+	b.Reset()
+	if err := Fig1(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"authors", "PC members", "session chairs", "ALL"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Fig1 missing %q", want)
+		}
+	}
+
+	b.Reset()
+	if err := Sec31(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"overall FAR", "Double-blind", "Lead authors", "last"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Sec31 missing %q", want)
+		}
+	}
+
+	b.Reset()
+	if err := Sec32(&b, d, "SC17"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1220 slots") {
+		t.Errorf("Sec32 missing slot count: %s", b.String())
+	}
+
+	b.Reset()
+	if err := Sec33(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "keynotes:") || !strings.Contains(b.String(), "session chairs:") {
+		t.Errorf("Sec33 output: %s", b.String())
+	}
+
+	b.Reset()
+	if err := Sec41(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "HPC-tagged papers") {
+		t.Error("Sec41 missing header")
+	}
+
+	b.Reset()
+	if err := Fig2(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"female-led", "Mean citations", "i10", "female lead"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Fig2 missing %q", want)
+		}
+	}
+
+	for _, m := range []core.Metric{core.MetricGSPublications, core.MetricHIndex, core.MetricS2Publications} {
+		b.Reset()
+		if err := ExperienceFig(&b, d, m); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !strings.Contains(b.String(), "Median") {
+			t.Errorf("%s fig missing summary table", m)
+		}
+	}
+
+	b.Reset()
+	if err := Fig6(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"novice", "mid-career", "experienced", "Novice authors"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Fig6 missing %q", want)
+		}
+	}
+
+	b.Reset()
+	if err := Table2(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "United States") {
+		t.Error("Table2 missing United States")
+	}
+
+	b.Reset()
+	if err := Fig7(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "at least 10 authors") {
+		t.Error("Fig7 missing title")
+	}
+
+	b.Reset()
+	if err := Table3(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Northern America", "US share"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+
+	b.Reset()
+	if err := Fig8(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Sector mix", "GOV", "EDU", "COM"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Fig8 missing %q", want)
+		}
+	}
+
+	b.Reset()
+	if err := Sensitivity(&b, d, "SC17"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "forced") {
+		t.Error("Sensitivity missing header")
+	}
+}
+
+func TestSec34RendersFlagship(t *testing.T) {
+	c, err := synth.Generate(synth.FlagshipSeries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := Sec34(&b, c.Data); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SC", "ISC", "2016", "2020", "FAR range"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Sec34 missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package report renders the paper's tables and figures as text: aligned
+// ASCII tables for Tables 1-3, horizontal bar charts for the ratio figures
+// (Figs 1, 6, 7, 8), and line-grid density plots for the distribution
+// figures (Figs 2-5). The per-exhibit renderers consume the structured
+// results from internal/core, so cmd/whpc stays a thin shell.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with per-column alignment.
+type Table struct {
+	headers []string
+	rows    [][]string
+	// RightAlign marks columns rendered flush right (numbers).
+	rightAlign map[int]bool
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers, rightAlign: make(map[int]bool)}
+}
+
+// AlignRight marks columns (0-based) as right-aligned.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		t.rightAlign[c] = true
+	}
+	return t
+}
+
+// AddRow appends a row; short rows are padded with empty cells, long rows
+// are an error.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) > len(t.headers) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.headers))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustAddRow is AddRow for static callers; it panics on arity errors.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// RenderTo writes the formatted table.
+func (t *Table) RenderTo(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if t.rightAlign[i] {
+				parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+			} else {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	var sb strings.Builder
+	sb.WriteString(line(t.headers))
+	sb.WriteByte('\n')
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		sb.WriteString(line(row))
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Render returns the formatted table as a string.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if err := t.RenderTo(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// Pct formats a ratio as a percentage with two decimals ("9.90%"); NaN
+// renders as "n/a" (empty cells in the paper's small-population tables).
+func Pct(ratio float64) string {
+	if ratio != ratio { // NaN
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*ratio)
+}

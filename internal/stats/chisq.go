@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChiSquaredResult reports a chi-squared test in the paper's reporting
+// style: "χ² = 3.133, p = 0.0767".
+type ChiSquaredResult struct {
+	ChiSq    float64
+	DF       float64
+	P        float64
+	N        int       // total count across all cells
+	Expected []float64 // expected counts, row-major for contingency tables
+	Yates    bool      // whether the continuity correction was applied
+	Method   string
+}
+
+// String formats the result in the paper's reporting style.
+func (r ChiSquaredResult) String() string {
+	return fmt.Sprintf("%s: chi-sq = %.4g, df = %.4g, p = %.4g", r.Method, r.ChiSq, r.DF, r.P)
+}
+
+// Significant reports whether p is below alpha.
+func (r ChiSquaredResult) Significant(alpha float64) bool {
+	return r.P < alpha
+}
+
+// ErrDegenerate indicates a contingency table with a zero row or column
+// margin, for which the chi-squared test is undefined.
+var ErrDegenerate = errors.New("stats: degenerate contingency table (zero marginal)")
+
+// ChiSquaredIndependence performs Pearson's chi-squared test of independence
+// on an r x c contingency table of observed counts. Every analysis in the
+// paper that compares two categorical variables (gender x conference group,
+// gender x role, gender x experience band, ...) uses this test, without the
+// Yates continuity correction — matching R's chisq.test(correct=FALSE),
+// which is what reproduces the paper's reported statistics.
+func ChiSquaredIndependence(table [][]float64) (ChiSquaredResult, error) {
+	return chiSquaredTable(table, false)
+}
+
+// ChiSquaredIndependenceYates is the 2x2 variant with the Yates continuity
+// correction, included for the ablation bench; for larger tables the
+// correction is ignored.
+func ChiSquaredIndependenceYates(table [][]float64) (ChiSquaredResult, error) {
+	return chiSquaredTable(table, true)
+}
+
+func chiSquaredTable(table [][]float64, yates bool) (ChiSquaredResult, error) {
+	nr := len(table)
+	if nr < 2 {
+		return ChiSquaredResult{}, errors.New("stats: contingency table needs at least 2 rows")
+	}
+	nc := len(table[0])
+	if nc < 2 {
+		return ChiSquaredResult{}, errors.New("stats: contingency table needs at least 2 columns")
+	}
+	rowSum := make([]float64, nr)
+	colSum := make([]float64, nc)
+	var total float64
+	for i, row := range table {
+		if len(row) != nc {
+			return ChiSquaredResult{}, fmt.Errorf("stats: ragged contingency table (row %d has %d columns, want %d)", i, len(row), nc)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return ChiSquaredResult{}, fmt.Errorf("stats: negative count %g at (%d,%d)", v, i, j)
+			}
+			rowSum[i] += v
+			colSum[j] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return ChiSquaredResult{}, ErrDegenerate
+	}
+	for _, s := range rowSum {
+		if s == 0 {
+			return ChiSquaredResult{}, ErrDegenerate
+		}
+	}
+	for _, s := range colSum {
+		if s == 0 {
+			return ChiSquaredResult{}, ErrDegenerate
+		}
+	}
+	applyYates := yates && nr == 2 && nc == 2
+	var chisq float64
+	expected := make([]float64, 0, nr*nc)
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			e := rowSum[i] * colSum[j] / total
+			expected = append(expected, e)
+			d := table[i][j] - e
+			if applyYates {
+				d = absFloat(d) - 0.5
+				if d < 0 {
+					d = 0
+				}
+			}
+			chisq += d * d / e
+		}
+	}
+	df := float64((nr - 1) * (nc - 1))
+	method := "Pearson chi-squared test of independence"
+	if applyYates {
+		method += " (Yates)"
+	}
+	return ChiSquaredResult{
+		ChiSq:    chisq,
+		DF:       df,
+		P:        ChiSquared{K: df}.SurvivalP(chisq),
+		N:        int(total),
+		Expected: expected,
+		Yates:    applyYates,
+		Method:   method,
+	}, nil
+}
+
+// ChiSquaredGoodnessOfFit tests observed counts against expected
+// probabilities (which must sum to ~1).
+func ChiSquaredGoodnessOfFit(observed []float64, probs []float64) (ChiSquaredResult, error) {
+	if len(observed) != len(probs) {
+		return ChiSquaredResult{}, fmt.Errorf("stats: %d observed cells but %d probabilities", len(observed), len(probs))
+	}
+	if len(observed) < 2 {
+		return ChiSquaredResult{}, errors.New("stats: goodness-of-fit needs at least 2 cells")
+	}
+	var total, psum float64
+	for i, o := range observed {
+		if o < 0 {
+			return ChiSquaredResult{}, fmt.Errorf("stats: negative count %g at cell %d", o, i)
+		}
+		if probs[i] <= 0 {
+			return ChiSquaredResult{}, fmt.Errorf("stats: non-positive probability %g at cell %d", probs[i], i)
+		}
+		total += o
+		psum += probs[i]
+	}
+	if total == 0 {
+		return ChiSquaredResult{}, ErrDegenerate
+	}
+	if absFloat(psum-1) > 1e-9 {
+		return ChiSquaredResult{}, fmt.Errorf("stats: probabilities sum to %g, want 1", psum)
+	}
+	var chisq float64
+	expected := make([]float64, len(observed))
+	for i, o := range observed {
+		e := total * probs[i]
+		expected[i] = e
+		d := o - e
+		chisq += d * d / e
+	}
+	df := float64(len(observed) - 1)
+	return ChiSquaredResult{
+		ChiSq:    chisq,
+		DF:       df,
+		P:        ChiSquared{K: df}.SurvivalP(chisq),
+		N:        int(total),
+		Expected: expected,
+		Method:   "Chi-squared goodness-of-fit test",
+	}, nil
+}
+
+// TwoProportionChiSq is the convenience form used throughout the paper:
+// compare the proportion k1/n1 against k2/n2 with a 2x2 chi-squared test
+// (e.g. female authors in double-blind vs single-blind conferences).
+func TwoProportionChiSq(k1, n1, k2, n2 int) (ChiSquaredResult, error) {
+	if k1 < 0 || k2 < 0 || n1 < k1 || n2 < k2 {
+		return ChiSquaredResult{}, fmt.Errorf("stats: invalid proportion counts %d/%d, %d/%d", k1, n1, k2, n2)
+	}
+	return ChiSquaredIndependence([][]float64{
+		{float64(k1), float64(n1 - k1)},
+		{float64(k2), float64(n2 - k2)},
+	})
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "Sum", Sum(xs), 40, 0)
+	m, err := Mean(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Mean", m, 5, 0)
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of squared deviations = 32; n-1 = 7.
+	approx(t, "Variance", v, 32.0/7, 1e-12)
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "StdDev", sd, math.Sqrt(32.0/7), 1e-12)
+}
+
+func TestSumKahanStability(t *testing.T) {
+	// 1e8 + many tiny values: naive summation loses them pairwise; Kahan
+	// keeps the total exact here.
+	xs := make([]float64, 1001)
+	xs[0] = 1e8
+	for i := 1; i <= 1000; i++ {
+		xs[i] = 1e-3
+	}
+	approx(t, "Kahan sum", Sum(xs), 1e8+1, 1e-6)
+}
+
+func TestEmptyAndTinyErrors(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Variance([]float64{1}); err != ErrTooFew {
+		t.Errorf("Variance(1 elt) err = %v, want ErrTooFew", err)
+	}
+	if _, err := Variance(nil); err != ErrEmpty {
+		t.Errorf("Variance(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Error("Min(nil) should error")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil) should error")
+	}
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Error("Median(nil) should error")
+	}
+	if _, err := Skewness([]float64{1, 2}); err != ErrTooFew {
+		t.Error("Skewness(2 elts) should be ErrTooFew")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustMean(nil) should panic")
+			}
+		}()
+		MustMean(nil)
+	}()
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	approx(t, "Min", mn, 1, 0)
+	approx(t, "Max", mx, 9, 0)
+	med, _ := Median(xs)
+	approx(t, "Median even", med, 3.5, 1e-12)
+	med, _ = Median([]float64{5, 1, 3})
+	approx(t, "Median odd", med, 3, 0)
+	med, _ = Median([]float64{42})
+	approx(t, "Median single", med, 42, 0)
+}
+
+func TestQuantileType7(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// R: quantile(1:4, 0.25) = 1.75 with the default type 7.
+	q, err := Quantile(xs, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Q(0.25)", q, 1.75, 1e-12)
+	q, _ = Quantile(xs, 0)
+	approx(t, "Q(0)", q, 1, 0)
+	q, _ = Quantile(xs, 1)
+	approx(t, "Q(1)", q, 4, 0)
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("want error for p > 1")
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("want error for p < 0")
+	}
+	// Quantile must not mutate its input.
+	orig := []float64{9, 1, 5}
+	if _, err := Quantile(orig, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if orig[0] != 9 || orig[1] != 1 || orig[2] != 5 {
+		t.Errorf("Quantile mutated input: %v", orig)
+	}
+}
+
+func TestSkewnessSigns(t *testing.T) {
+	right := []float64{1, 1, 1, 2, 2, 3, 5, 9, 20}
+	sk, err := Skewness(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk <= 0 {
+		t.Errorf("right-skewed sample has skewness %g, want > 0", sk)
+	}
+	left := make([]float64, len(right))
+	for i, x := range right {
+		left[i] = -x
+	}
+	skl, _ := Skewness(left)
+	approx(t, "mirror skewness", skl, -sk, 1e-12)
+	sym, _ := Skewness([]float64{-2, -1, 0, 1, 2})
+	approx(t, "symmetric skewness", sym, 0, 1e-12)
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	approx(t, "Summary.Mean", s.Mean, 5, 0)
+	approx(t, "Summary.Median", s.Median, 4.5, 1e-12)
+	approx(t, "Summary.Min", s.Min, 2, 0)
+	approx(t, "Summary.Max", s.Max, 9, 0)
+	if !(s.Q1 <= s.Median && s.Median <= s.Q3) {
+		t.Errorf("quartile ordering violated: %g %g %g", s.Q1, s.Median, s.Q3)
+	}
+	// Single observation: StdDev and Skewness are NaN but no error.
+	s1, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s1.StdDev) || !math.IsNaN(s1.Skewness) {
+		t.Error("single-observation summary should have NaN spread/skew")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("Summarize(nil) should be ErrEmpty")
+	}
+}
+
+func TestDescriptiveProperties(t *testing.T) {
+	// Mean lies within [min, max]; shifting by a constant shifts the mean
+	// and leaves the variance unchanged.
+	f := func(raw []float64, shiftRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		shift := math.Mod(shiftRaw, 100)
+		if math.IsNaN(shift) {
+			shift = 1
+		}
+		m := MustMean(xs)
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		if m < mn-1e-9 || m > mx+1e-9 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		v1, _ := Variance(xs)
+		v2, _ := Variance(shifted)
+		m2 := MustMean(shifted)
+		return math.Abs(m2-(m+shift)) < 1e-6 && math.Abs(v1-v2) < 1e-5*(1+v1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		approx(t, "Ranks", got[i], want[i], 1e-12)
+	}
+	// All ties: everyone gets the average rank.
+	got = Ranks([]float64{7, 7, 7})
+	for i := range got {
+		approx(t, "Ranks ties", got[i], 2, 1e-12)
+	}
+	if len(Ranks(nil)) != 0 {
+		t.Error("Ranks(nil) should be empty")
+	}
+}
+
+func TestRanksSumInvariant(t *testing.T) {
+	// Ranks always sum to n(n+1)/2 regardless of ties.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		n := len(xs)
+		want := float64(n*(n+1)) / 2
+		return math.Abs(Sum(Ranks(xs))-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.12g, want %.12g (tol %g, diff %g)", name, got, want, tol, got-want)
+	}
+}
+
+func TestNormalCDFReference(t *testing.T) {
+	// Reference values from standard normal tables / R pnorm.
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{2, 0.9772498680518208},
+		{-3, 0.0013498980316300933},
+		{3.719016485455709, 0.9999},
+	}
+	for _, c := range cases {
+		approx(t, "Normal.CDF", StdNormal.CDF(c.x), c.want, 1e-12)
+	}
+}
+
+func TestNormalPDFReference(t *testing.T) {
+	approx(t, "Normal.PDF(0)", StdNormal.PDF(0), 1/math.Sqrt(2*math.Pi), 1e-15)
+	approx(t, "Normal.PDF(1)", StdNormal.PDF(1), 0.24197072451914337, 1e-14)
+	n := Normal{Mu: 5, Sigma: 2}
+	approx(t, "Normal{5,2}.PDF(5)", n.PDF(5), 1/(2*math.Sqrt(2*math.Pi)), 1e-15)
+}
+
+func TestNormalQuantileReference(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.8413447460685429, 1},
+		{0.0013498980316300933, -3},
+		{0.95, 1.6448536269514722},
+		{0.999, 3.090232306167813},
+	}
+	for _, c := range cases {
+		approx(t, "Normal.Quantile", StdNormal.Quantile(c.p), c.want, 1e-9)
+	}
+	if !math.IsInf(StdNormal.Quantile(0), -1) {
+		t.Error("Quantile(0) should be -Inf")
+	}
+	if !math.IsInf(StdNormal.Quantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+	if !math.IsNaN(StdNormal.Quantile(-0.1)) || !math.IsNaN(StdNormal.Quantile(1.1)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+}
+
+func TestNormalQuantileCDFRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p <= 1e-10 || p >= 1-1e-10 || math.IsNaN(p) {
+			return true
+		}
+		x := StdNormal.Quantile(p)
+		return math.Abs(StdNormal.CDF(x)-p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentsTCDFReference(t *testing.T) {
+	// df=1 is the Cauchy distribution: CDF(x) = 1/2 + atan(x)/pi.
+	cauchy := StudentsT{DF: 1}
+	for _, x := range []float64{-5, -1, 0, 0.5, 1, 3, 10} {
+		approx(t, "t1.CDF", cauchy.CDF(x), 0.5+math.Atan(x)/math.Pi, 1e-12)
+	}
+	// df=2 has the closed form CDF(x) = 1/2 + x / (2*sqrt(2+x^2)).
+	t2 := StudentsT{DF: 2}
+	for _, x := range []float64{-4, -1, 0, 1, 2.5} {
+		approx(t, "t2.CDF", t2.CDF(x), 0.5+x/(2*math.Sqrt(2+x*x)), 1e-12)
+	}
+}
+
+func TestStudentsTQuantileReference(t *testing.T) {
+	// Classical critical values t_{0.975, df}.
+	cases := []struct{ df, want float64 }{
+		{1, 12.706204736432095},
+		{2, 4.302652729911275},
+		{5, 2.5705818366147395},
+		{10, 2.2281388519649385},
+		{30, 2.0422724563012373},
+		{100, 1.9839715184496334},
+	}
+	for _, c := range cases {
+		approx(t, "t.Quantile(0.975)", StudentsT{DF: c.df}.Quantile(0.975), c.want, 1e-8)
+	}
+	approx(t, "t.Quantile(0.5)", StudentsT{DF: 7}.Quantile(0.5), 0, 1e-12)
+}
+
+func TestStudentsTTwoSidedP(t *testing.T) {
+	// Two-sided p at the 97.5% critical value must be 0.05.
+	for _, df := range []float64{1, 2, 5, 10, 30, 86.0} {
+		d := StudentsT{DF: df}
+		crit := d.Quantile(0.975)
+		approx(t, "TwoSidedP(crit)", d.TwoSidedP(crit), 0.05, 1e-8)
+		approx(t, "TwoSidedP(-crit)", d.TwoSidedP(-crit), 0.05, 1e-8)
+	}
+	// The paper's own citation test: t = -2.18 with df = 86 gives p = 0.032.
+	approx(t, "paper t-test p", StudentsT{DF: 86}.TwoSidedP(-2.18), 0.032, 5e-4)
+}
+
+func TestStudentsTConvergesToNormal(t *testing.T) {
+	big := StudentsT{DF: 1e6}
+	for _, x := range []float64{-2, -0.5, 0, 1, 2.3} {
+		approx(t, "t(1e6).CDF vs normal", big.CDF(x), StdNormal.CDF(x), 1e-5)
+	}
+}
+
+func TestChiSquaredCDFReference(t *testing.T) {
+	// df=2 has the closed form survival exp(-x/2).
+	c2 := ChiSquared{K: 2}
+	for _, x := range []float64{0, 0.5, 1, 2, 5.991464547107979, 10} {
+		approx(t, "chi2(2).SurvivalP", c2.SurvivalP(x), math.Exp(-x/2), 1e-12)
+	}
+	// df=1: CDF(x) = erf(sqrt(x/2)).
+	c1 := ChiSquared{K: 1}
+	for _, x := range []float64{0.1, 1, 3.841458820694124, 7} {
+		approx(t, "chi2(1).CDF", c1.CDF(x), math.Erf(math.Sqrt(x/2)), 1e-12)
+	}
+	// 95th percentile critical values.
+	approx(t, "chi2(1) p at 3.8415", c1.SurvivalP(3.841458820694124), 0.05, 1e-10)
+}
+
+func TestChiSquaredPaperValues(t *testing.T) {
+	// Every chi-squared statistic the paper reports, with its published
+	// p-value. These pin our incomplete-gamma implementation to R's pchisq.
+	cases := []struct {
+		name  string
+		chisq float64
+		df    float64
+		wantP float64
+		tol   float64
+	}{
+		{"double-vs-single-blind FAR", 3.133, 1, 0.0767, 5e-4},
+		{"lead single-vs-double-blind", 1.662, 1, 0.197, 5e-3},
+		{"last author vs overall", 0.724, 1, 0.395, 5e-3},
+		{"HPC-only authors", 4.656, 1, 0.031, 5e-4},
+		{"HPC-only lead authors", 0.0547, 1, 0.8151, 5e-4},
+		{"i10 attainment by lead gender", 3.69, 1, 0.055, 5e-3},
+		{"novice authors by gender", 7.419, 1, 0.00645, 5e-4},
+		{"PC sector", 0.522, 2, 0.77, 5e-3},
+		{"author sector", 1.629, 2, 0.443, 5e-3},
+	}
+	for _, c := range cases {
+		got := ChiSquared{K: c.df}.SurvivalP(c.chisq)
+		approx(t, "p["+c.name+"]", got, c.wantP, c.tol)
+	}
+}
+
+func TestChiSquaredPDFIntegratesToCDF(t *testing.T) {
+	c := ChiSquared{K: 3}
+	// Trapezoid integral of the PDF over [0, 5] vs CDF(5).
+	const n = 20000
+	var sum float64
+	for i := 0; i <= n; i++ {
+		x := 5 * float64(i) / n
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum += w * c.PDF(x)
+	}
+	sum *= 5.0 / n
+	approx(t, "integral PDF vs CDF", sum, c.CDF(5), 1e-6)
+}
+
+func TestLogNormal(t *testing.T) {
+	l := LogNormal{Mu: 1, Sigma: 0.5}
+	approx(t, "LogNormal.Mean", l.Mean(), math.Exp(1.125), 1e-12)
+	approx(t, "LogNormal.CDF(median)", l.CDF(math.Exp(1)), 0.5, 1e-12)
+	approx(t, "LogNormal.Quantile(0.5)", l.Quantile(0.5), math.E, 1e-9)
+	if l.PDF(-1) != 0 || l.PDF(0) != 0 {
+		t.Error("LogNormal.PDF must be 0 for x <= 0")
+	}
+	// CDF is monotone.
+	if !(l.CDF(1) < l.CDF(2) && l.CDF(2) < l.CDF(10)) {
+		t.Error("LogNormal.CDF not monotone")
+	}
+}
+
+func TestRegIncGammaEdgeCases(t *testing.T) {
+	if RegIncGammaP(2, 0) != 0 {
+		t.Error("P(a, 0) should be 0")
+	}
+	if RegIncGammaQ(2, 0) != 1 {
+		t.Error("Q(a, 0) should be 1")
+	}
+	approx(t, "P(a,Inf)", RegIncGammaP(2, math.Inf(1)), 1, 0)
+	if !math.IsNaN(RegIncGammaP(-1, 1)) || !math.IsNaN(RegIncGammaP(1, -1)) {
+		t.Error("invalid arguments should yield NaN")
+	}
+	// P + Q = 1 across both algorithm regions.
+	for _, a := range []float64{0.5, 1, 3, 10, 50} {
+		for _, x := range []float64{0.1, 0.9, a, a + 2, 4 * a} {
+			approx(t, "P+Q=1", RegIncGammaP(a, x)+RegIncGammaQ(a, x), 1, 1e-12)
+		}
+	}
+	// P(1, x) = 1 - exp(-x) exactly (exponential distribution).
+	for _, x := range []float64{0.2, 1, 3, 8} {
+		approx(t, "P(1,x)", RegIncGammaP(1, x), 1-math.Exp(-x), 1e-12)
+	}
+}
+
+func TestRegIncBetaEdgeCases(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("I_0 = 0 and I_1 = 1 required")
+	}
+	if !math.IsNaN(RegIncBeta(0, 1, 0.5)) || !math.IsNaN(RegIncBeta(1, 1, 1.5)) {
+		t.Error("invalid arguments should yield NaN")
+	}
+	// I_x(1, 1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		approx(t, "I_x(1,1)", RegIncBeta(1, 1, x), x, 1e-12)
+	}
+	// I_x(a, b) = 1 - I_{1-x}(b, a) (symmetry) across regions.
+	for _, ab := range [][2]float64{{0.5, 0.5}, {2, 5}, {10, 3}, {43, 0.5}} {
+		for _, x := range []float64{0.05, 0.3, 0.7, 0.95} {
+			lhs := RegIncBeta(ab[0], ab[1], x)
+			rhs := 1 - RegIncBeta(ab[1], ab[0], 1-x)
+			approx(t, "beta symmetry", lhs, rhs, 1e-11)
+		}
+	}
+	// I_x(1/2, 1/2) = (2/pi) asin(sqrt(x)) (arcsine distribution).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		approx(t, "arcsine", RegIncBeta(0.5, 0.5, x), 2/math.Pi*math.Asin(math.Sqrt(x)), 1e-11)
+	}
+}

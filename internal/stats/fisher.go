@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// FisherExactResult reports Fisher's exact test on a 2x2 table. The
+// chi-squared approximation the paper uses breaks down on its smallest
+// populations (4 PC chairs, 3 keynotes per conference); the exact test is
+// the principled alternative there, and the library exposes both so the
+// two can be compared.
+type FisherExactResult struct {
+	P         float64 // two-sided p-value (sum of tables as or more extreme)
+	PLess     float64 // one-sided: P(X <= observed)
+	PGreater  float64 // one-sided: P(X >= observed)
+	OddsRatio float64 // sample odds ratio (Inf/NaN on zero cells)
+}
+
+// FisherExact runs Fisher's exact test on the 2x2 table
+//
+//	a b
+//	c d
+//
+// using the hypergeometric distribution. The two-sided p-value follows R's
+// convention: the sum of probabilities of all tables with probability no
+// larger than the observed one (with a small tolerance for float noise).
+func FisherExact(a, b, c, d int) (FisherExactResult, error) {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return FisherExactResult{}, fmt.Errorf("stats: negative cell in 2x2 table (%d %d %d %d)", a, b, c, d)
+	}
+	n := a + b + c + d
+	if n == 0 {
+		return FisherExactResult{}, ErrEmpty
+	}
+	r1 := a + b // first row margin
+	c1 := a + c // first column margin
+
+	// Hypergeometric probability of a table with top-left cell x, given
+	// fixed margins.
+	logProb := func(x int) float64 {
+		return logChoose(r1, x) + logChoose(n-r1, c1-x) - logChoose(n, c1)
+	}
+	lo := maxOf(0, c1-(n-r1))
+	hi := minOf(r1, c1)
+	pObs := math.Exp(logProb(a))
+
+	var res FisherExactResult
+	const tol = 1e-7
+	for x := lo; x <= hi; x++ {
+		p := math.Exp(logProb(x))
+		if p <= pObs*(1+tol) {
+			res.P += p
+		}
+		if x <= a {
+			res.PLess += p
+		}
+		if x >= a {
+			res.PGreater += p
+		}
+	}
+	if res.P > 1 {
+		res.P = 1
+	}
+	if res.PLess > 1 {
+		res.PLess = 1
+	}
+	if res.PGreater > 1 {
+		res.PGreater = 1
+	}
+	switch {
+	case b == 0 || c == 0:
+		if a == 0 || d == 0 {
+			res.OddsRatio = math.NaN()
+		} else {
+			res.OddsRatio = math.Inf(1)
+		}
+	default:
+		res.OddsRatio = float64(a) * float64(d) / (float64(b) * float64(c))
+	}
+	return res, nil
+}
+
+// logChoose returns log(n choose k), or -Inf outside the valid range.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minOf(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

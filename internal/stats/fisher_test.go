@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFisherExactKnownValues(t *testing.T) {
+	// R: fisher.test(matrix(c(3,1,1,3),2)) -> p = 0.4857 (tea-tasting).
+	r, err := FisherExact(3, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "tea p", r.P, 0.485714285714, 1e-9)
+	approx(t, "tea odds", r.OddsRatio, 9, 1e-12)
+	// Hand computation for the table (1 9 / 11 3): margins r1=10, c1=12,
+	// n=24. Tables with probability <= p(observed) are x in {0, 1, 9, 10}
+	// with probabilities (91 + 3640 + 3640 + 91) / C(24,12) = 7462/2704156.
+	r, err = FisherExact(1, 9, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "p", r.P, 7462.0/2704156.0, 1e-9)
+	// One-sided components bracket the two-sided value's pieces.
+	if r.PLess > 1 || r.PGreater > 1 || r.PLess < 0 || r.PGreater < 0 {
+		t.Errorf("one-sided p out of range: %g, %g", r.PLess, r.PGreater)
+	}
+}
+
+func TestFisherExactZeroCells(t *testing.T) {
+	// Zero-women rosters: 0 women of 12 chairs vs 6 of 24 elsewhere.
+	r, err := FisherExact(0, 12, 6, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P <= 0 || r.P > 1 {
+		t.Errorf("p = %g", r.P)
+	}
+	if r.OddsRatio != 0 {
+		t.Errorf("odds ratio with a zero in cell a should be 0, got %g", r.OddsRatio)
+	}
+	// b == 0: infinite odds ratio.
+	r, err = FisherExact(5, 0, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.OddsRatio, 1) {
+		t.Errorf("odds ratio = %g, want +Inf", r.OddsRatio)
+	}
+	// Degenerate all-zero.
+	if _, err := FisherExact(0, 0, 0, 0); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := FisherExact(-1, 2, 3, 4); err == nil {
+		t.Error("negative cell accepted")
+	}
+}
+
+func TestFisherMatchesChiSquaredOnLargeTables(t *testing.T) {
+	// With large balanced counts the exact and asymptotic tests agree.
+	fe, err := FisherExact(100, 200, 150, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chi, err := ChiSquaredIndependence([][]float64{{100, 200}, {150, 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fe.P-chi.P) > 0.01 {
+		t.Errorf("exact %g vs chi-squared %g diverge on a large table", fe.P, chi.P)
+	}
+}
+
+func TestFisherExactProperties(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		aa, bb, cc, dd := int(a%30), int(b%30), int(c%30), int(d%30)
+		if aa+bb+cc+dd == 0 {
+			return true
+		}
+		r, err := FisherExact(aa, bb, cc, dd)
+		if err != nil {
+			return false
+		}
+		if r.P < 0 || r.P > 1 {
+			return false
+		}
+		// Transposing the table leaves the p-value unchanged.
+		rt, err := FisherExact(aa, cc, bb, dd)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r.P-rt.P) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMannWhitneyKnownExample(t *testing.T) {
+	// Clearly separated samples: all of y above all of x.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 11, 12, 13, 14}
+	r, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "U", r.U, 0, 0) // x wins no pairs
+	if r.P > 0.02 {
+		t.Errorf("separated samples p = %g", r.P)
+	}
+	approx(t, "rank-biserial", r.RankBiserial, 1, 1e-12)
+	// Symmetric case: swapping groups flips the effect size.
+	r2, err := MannWhitneyU(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "U swapped", r2.U, 25, 0)
+	approx(t, "rb swapped", r2.RankBiserial, -1, 1e-12)
+	approx(t, "p symmetric", r.P, r2.P, 1e-12)
+}
+
+func TestMannWhitneyNull(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	y := []float64{2, 7, 1, 8, 2, 8, 1, 8, 2, 8}
+	r, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P < 0.05 {
+		t.Errorf("similar samples rejected at p = %g", r.P)
+	}
+}
+
+func TestMannWhitneyOutlierRobust(t *testing.T) {
+	// The paper's scenario: one giant outlier in the smaller group. The
+	// t-test flips sign because of it; Mann-Whitney barely moves.
+	fem := []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 460}
+	femNoOut := fem[:9]
+	mal := []float64{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	with, err := MannWhitneyU(fem, mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := MannWhitneyU(femNoOut, mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(with.RankBiserial-without.RankBiserial) > 0.25 {
+		t.Errorf("rank-biserial moved too much with outlier: %.3f vs %.3f",
+			with.RankBiserial, without.RankBiserial)
+	}
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitneyU(nil, []float64{1, 2}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := MannWhitneyU([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("single observation accepted")
+	}
+	if _, err := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5}); err == nil {
+		t.Error("all-tied samples accepted")
+	}
+}
+
+func TestMannWhitneyTieHandling(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{2, 3, 3, 4}
+	r, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.Z) || math.IsNaN(r.P) {
+		t.Errorf("tied samples produced NaN: %+v", r)
+	}
+	if r.P < 0 || r.P > 1 {
+		t.Errorf("p = %g", r.P)
+	}
+}

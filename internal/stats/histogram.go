@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram is a fixed-width binning of a sample, used by the report
+// package's text renderings of the paper's distribution figures.
+type Histogram struct {
+	Lo     float64 // left edge of the first bin
+	Width  float64 // bin width
+	Counts []int   // per-bin counts
+	Under  int     // observations below Lo (only for explicit ranges)
+	Over   int     // observations at or above the last edge
+	N      int     // total observations offered
+}
+
+// NewHistogram bins xs into nbins equal-width bins spanning [min, max].
+// The maximum value is included in the last bin.
+func NewHistogram(xs []float64, nbins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if nbins < 1 {
+		return nil, errors.New("stats: histogram needs at least 1 bin")
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if lo == hi {
+		hi = lo + 1 // all-equal sample: single degenerate bin of width 1/nbins
+	}
+	return NewHistogramRange(xs, lo, hi, nbins)
+}
+
+// NewHistogramRange bins xs into nbins equal-width bins spanning [lo, hi).
+// Values equal to hi land in the last bin; values outside the range are
+// tallied in Under/Over.
+func NewHistogramRange(xs []float64, lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins < 1 {
+		return nil, errors.New("stats: histogram needs at least 1 bin")
+	}
+	if !(hi > lo) {
+		return nil, errors.New("stats: histogram range must satisfy hi > lo")
+	}
+	h := &Histogram{
+		Lo:     lo,
+		Width:  (hi - lo) / float64(nbins),
+		Counts: make([]int, nbins),
+	}
+	for _, x := range xs {
+		h.N++
+		switch {
+		case math.IsNaN(x):
+			h.N-- // NaNs are ignored entirely
+		case x < lo:
+			h.Under++
+		case x > hi:
+			h.Over++
+		case x == hi:
+			h.Counts[nbins-1]++
+		default:
+			idx := int((x - lo) / h.Width)
+			if idx >= nbins { // float rounding at the top edge
+				idx = nbins - 1
+			}
+			h.Counts[idx]++
+		}
+	}
+	return h, nil
+}
+
+// BinEdges returns the nbins+1 bin edges.
+func (h *Histogram) BinEdges() []float64 {
+	edges := make([]float64, len(h.Counts)+1)
+	for i := range edges {
+		edges[i] = h.Lo + float64(i)*h.Width
+	}
+	return edges
+}
+
+// MaxCount returns the largest bin count (0 for an empty histogram).
+func (h *Histogram) MaxCount() int {
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Densities returns the per-bin density (count / (N * width)), which sums to
+// 1 when multiplied by bin width, ignoring under/overflow.
+func (h *Histogram) Densities() []float64 {
+	out := make([]float64, len(h.Counts))
+	inRange := h.N - h.Under - h.Over
+	if inRange == 0 {
+		return out
+	}
+	norm := 1 / (float64(inRange) * h.Width)
+	for i, c := range h.Counts {
+		out[i] = float64(c) * norm
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestKSIdenticalDistributions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 14))
+	x := make([]float64, 300)
+	y := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	r, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P < 0.01 {
+		t.Errorf("identical distributions rejected: D = %g, p = %g", r.D, r.P)
+	}
+	if r.D < 0 || r.D > 1 {
+		t.Errorf("D = %g out of range", r.D)
+	}
+}
+
+func TestKSDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 9))
+	x := make([]float64, 250)
+	y := make([]float64, 250)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64() + 0.5
+	}
+	r, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P > 0.001 {
+		t.Errorf("half-sigma shift with n=250 not detected: D = %g, p = %g", r.D, r.P)
+	}
+}
+
+func TestKSDetectsSpreadDifference(t *testing.T) {
+	// KS also sees scale differences that a t-test on means cannot.
+	rng := rand.New(rand.NewPCG(8, 1))
+	x := make([]float64, 400)
+	y := make([]float64, 400)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 3 * rng.NormFloat64() // same mean, triple spread
+	}
+	ks, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.P > 0.001 {
+		t.Errorf("spread difference not detected by KS: p = %g", ks.P)
+	}
+	tt, err := WelchTTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.P < 0.01 {
+		t.Errorf("t-test should NOT see a mean difference here: p = %g", tt.P)
+	}
+}
+
+func TestKSSymmetry(t *testing.T) {
+	x := []float64{1, 3, 5, 7, 9, 11}
+	y := []float64{2, 4, 6, 8, 10}
+	a, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KolmogorovSmirnov(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "D symmetric", a.D, b.D, 1e-12)
+	approx(t, "p symmetric", a.P, b.P, 1e-12)
+}
+
+func TestKSKnownD(t *testing.T) {
+	// Disjoint supports: D = 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 11, 12, 13, 14}
+	r, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "disjoint D", r.D, 1, 1e-12)
+	if r.P > 0.02 {
+		t.Errorf("disjoint supports p = %g", r.P)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("tiny sample accepted")
+	}
+}
+
+func TestKSQBounds(t *testing.T) {
+	if ksQ(0) != 1 || ksQ(-1) != 1 {
+		t.Error("Q at lambda <= 0 must be 1")
+	}
+	if q := ksQ(10); q > 1e-10 {
+		t.Errorf("Q(10) = %g, want ~0", q)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		q := ksQ(l)
+		if q > prev+1e-12 {
+			t.Fatalf("Q not monotone at lambda=%g", l)
+		}
+		prev = q
+	}
+	// Known value: Q(1.36) ~ 0.049 (the classical 5% critical value).
+	q := ksQ(1.36)
+	if q < 0.045 || q > 0.055 {
+		t.Errorf("Q(1.36) = %g, want ~0.049", q)
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Proportion is a binomial count with helpers for the ratio-of-women
+// computations that dominate the paper (FAR is simply Women/Known).
+type Proportion struct {
+	K int // successes (e.g. women)
+	N int // trials (e.g. researchers with known gender)
+}
+
+// Ratio returns K/N, or NaN when N == 0 — distinguishing "no data" from a
+// true zero ratio, which matters for the small visible-role populations.
+func (p Proportion) Ratio() float64 {
+	if p.N == 0 {
+		return math.NaN()
+	}
+	return float64(p.K) / float64(p.N)
+}
+
+// Percent returns the ratio scaled to percent, as the paper reports it.
+func (p Proportion) Percent() float64 { return p.Ratio() * 100 }
+
+// Valid reports whether the counts are consistent (0 <= K <= N).
+func (p Proportion) Valid() bool { return p.K >= 0 && p.N >= p.K }
+
+// String renders as "k/n (pp.p%)".
+func (p Proportion) String() string {
+	if p.N == 0 {
+		return fmt.Sprintf("%d/%d (n/a)", p.K, p.N)
+	}
+	return fmt.Sprintf("%d/%d (%.2f%%)", p.K, p.N, p.Percent())
+}
+
+// WilsonCI returns the Wilson score confidence interval for the underlying
+// proportion at the given confidence level (e.g. 0.95). Wilson is preferred
+// over the Wald interval because many of the paper's cells are small and
+// near 0% (e.g. zero female session chairs at three conferences), where
+// Wald degenerates.
+func (p Proportion) WilsonCI(confidence float64) (lo, hi float64, err error) {
+	if !p.Valid() {
+		return 0, 0, fmt.Errorf("stats: invalid proportion %d/%d", p.K, p.N)
+	}
+	if p.N == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %g outside (0, 1)", confidence)
+	}
+	z := StdNormal.Quantile(1 - (1-confidence)/2)
+	n := float64(p.N)
+	phat := p.Ratio()
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	// Pin the boundary cases exactly: rounding can leave a stray 1e-17.
+	if p.K == 0 || lo < 0 {
+		lo = 0
+	}
+	if p.K == p.N || hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// DiffProportionCI returns the Newcombe score (method 10) confidence
+// interval for p1 - p2, built from the two Wilson intervals. It behaves
+// sensibly even for the paper's zero cells, where Wald intervals collapse.
+func DiffProportionCI(p1, p2 Proportion, confidence float64) (lo, hi float64, err error) {
+	l1, u1, err := p1.WilsonCI(confidence)
+	if err != nil {
+		return 0, 0, err
+	}
+	l2, u2, err := p2.WilsonCI(confidence)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := p1.Ratio() - p2.Ratio()
+	e1 := p1.Ratio() - l1
+	e2 := u2 - p2.Ratio()
+	f1 := u1 - p1.Ratio()
+	f2 := p2.Ratio() - l2
+	lo = d - math.Sqrt(e1*e1+e2*e2)
+	hi = d + math.Sqrt(f1*f1+f2*f2)
+	if lo < -1 {
+		lo = -1
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// TwoProportionZTest compares two proportions with the pooled z-test. For a
+// 2x2 table this is algebraically equivalent to the uncorrected chi-squared
+// test (z² = χ²); both are provided so the unit tests can cross-check them.
+func TwoProportionZTest(p1, p2 Proportion) (z float64, p float64, err error) {
+	if !p1.Valid() || !p2.Valid() {
+		return 0, 0, fmt.Errorf("stats: invalid proportions %v, %v", p1, p2)
+	}
+	if p1.N == 0 || p2.N == 0 {
+		return 0, 0, ErrEmpty
+	}
+	n1, n2 := float64(p1.N), float64(p2.N)
+	pool := float64(p1.K+p2.K) / (n1 + n2)
+	se := math.Sqrt(pool * (1 - pool) * (1/n1 + 1/n2))
+	if se == 0 {
+		return 0, 0, fmt.Errorf("stats: z-test undefined (pooled proportion %g)", pool)
+	}
+	z = (p1.Ratio() - p2.Ratio()) / se
+	p = 2 * (1 - StdNormal.CDF(math.Abs(z)))
+	return z, p, nil
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "slope", r.Slope, 2, 1e-12)
+	approx(t, "intercept", r.Intercept, 1, 1e-12)
+	approx(t, "R2", r.R2, 1, 1e-12)
+	if !math.IsInf(r.T, 1) || r.P != 0 {
+		t.Errorf("perfect fit: t = %g, p = %g", r.T, r.P)
+	}
+}
+
+func TestLinearRegressionKnownExample(t *testing.T) {
+	// Hand computation with x=1:5, y=c(2,1,4,3,6): Sxx=10, Sxy=10, Syy=14.8,
+	// so slope=1, intercept=0.2, RSS=4.8, R2=1-4.8/14.8, residual SD
+	// sqrt(4.8/3), SE=0.4, t=2.5 at df=3.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 1, 4, 3, 6}
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "slope", r.Slope, 1.0, 1e-12)
+	approx(t, "intercept", r.Intercept, 0.2, 1e-12)
+	approx(t, "R2", r.R2, 1-4.8/14.8, 1e-12)
+	approx(t, "SE", r.SlopeSE, 0.4, 1e-12)
+	approx(t, "t", r.T, 2.5, 1e-12)
+	approx(t, "p", r.P, StudentsT{DF: 3}.TwoSidedP(2.5), 1e-12)
+	// t-table sanity: t_{0.95,3}=2.353 < 2.5 < t_{0.975,3}=3.182, so the
+	// two-sided p sits between 0.05 and 0.10.
+	if r.P < 0.05 || r.P > 0.10 {
+		t.Errorf("p = %g outside (0.05, 0.10)", r.P)
+	}
+	approx(t, "df", r.DF, 3, 0)
+}
+
+func TestLinearRegressionFlatSeries(t *testing.T) {
+	// The §3.4 "no trend" shape: a flat noisy series has slope near zero
+	// and a large p.
+	x := []float64{2016, 2017, 2018, 2019, 2020}
+	y := []float64{0.086, 0.081, 0.090, 0.079, 0.088}
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Slope) > 0.01 {
+		t.Errorf("slope = %g, want near zero", r.Slope)
+	}
+	if r.P < 0.2 {
+		t.Errorf("flat series rejected: p = %g", r.P)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("two points accepted")
+	}
+	if _, err := LinearRegression([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x accepted")
+	}
+}
+
+func TestLinearRegressionConstantY(t *testing.T) {
+	r, err := LinearRegression([]float64{1, 2, 3, 4}, []float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "slope", r.Slope, 0, 1e-12)
+	approx(t, "intercept", r.Intercept, 5, 1e-12)
+	if r.P != 1 {
+		t.Errorf("constant y: p = %g, want 1", r.P)
+	}
+}
+
+func TestCohenH(t *testing.T) {
+	// Equal proportions: h = 0.
+	h, err := CohenH(Proportion{10, 100}, Proportion{20, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "equal h", h, 0, 1e-12)
+	// The paper's author-vs-PC gap: 9.9% vs 18.46% -> h ~ -0.25 (small-to-medium).
+	h, err = CohenH(Proportion{99, 1000}, Proportion{185, 1002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > -0.2 || h < -0.3 {
+		t.Errorf("author-vs-PC h = %g, want ~ -0.25", h)
+	}
+	// Antisymmetry.
+	h2, err := CohenH(Proportion{185, 1002}, Proportion{99, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "antisymmetry", h, -h2, 1e-12)
+	// Errors.
+	if _, err := CohenH(Proportion{5, 3}, Proportion{1, 2}); err == nil {
+		t.Error("invalid proportion accepted")
+	}
+	if _, err := CohenH(Proportion{}, Proportion{1, 2}); err == nil {
+		t.Error("empty proportion accepted")
+	}
+}
+
+func TestHolmBonferroni(t *testing.T) {
+	// Classic example: p = {0.01, 0.04, 0.03, 0.005} at alpha 0.05.
+	// Sorted: 0.005 (<= 0.05/4), 0.01 (<= 0.05/3), 0.03 (<= 0.05/2 = 0.025? NO).
+	// So 0.005 and 0.01 are rejected; 0.03 and 0.04 are not.
+	rej, err := HolmBonferroni([]float64{0.01, 0.04, 0.03, 0.005}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, false, true}
+	for i := range want {
+		if rej[i] != want[i] {
+			t.Errorf("index %d: rejected = %v, want %v", i, rej[i], want[i])
+		}
+	}
+}
+
+func TestHolmBonferroniEdges(t *testing.T) {
+	// All tiny: everything rejected.
+	rej, err := HolmBonferroni([]float64{1e-10, 1e-9, 1e-8}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rej {
+		if !r {
+			t.Errorf("index %d not rejected", i)
+		}
+	}
+	// All large: nothing rejected.
+	rej, err = HolmBonferroni([]float64{0.5, 0.9}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej[0] || rej[1] {
+		t.Error("large p-values rejected")
+	}
+	// Errors.
+	if _, err := HolmBonferroni(nil, 0.05); err == nil {
+		t.Error("empty family accepted")
+	}
+	if _, err := HolmBonferroni([]float64{0.5}, 1.5); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	if _, err := HolmBonferroni([]float64{1.5}, 0.05); err == nil {
+		t.Error("invalid p-value accepted")
+	}
+	// Holm is uniformly at least as powerful as plain Bonferroni.
+	ps := []float64{0.012, 0.025, 0.9, 0.04, 0.001}
+	holm, err := HolmBonferroni(ps, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		bonf := p <= 0.05/float64(len(ps))
+		if bonf && !holm[i] {
+			t.Errorf("index %d: Bonferroni rejects but Holm does not", i)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package synth generates the synthetic corpus standing in for the paper's
+// manually scraped dataset. Every knob is calibrated to a number the paper
+// publishes (Table 1 sizes, per-role female ratios, geography, sector and
+// experience marginals, citation statistics), so the downstream analyses
+// reproduce the paper's tables and figures in shape. Generation is
+// deterministic for a given seed.
+package synth
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// RoleQuota fixes the size of a conference role roster and how many of its
+// members are women (quota sampling keeps the tiny rosters — 4 PC chairs, 3
+// keynotes — exactly on the paper's zero-women counts).
+type RoleQuota struct {
+	Total int
+	Women int
+}
+
+// ConfSpec calibrates one conference edition.
+type ConfSpec struct {
+	ID             dataset.ConfID
+	Name           string
+	Year           int
+	Date           time.Time
+	CountryCode    string
+	Papers         int
+	AuthorSlots    int     // Table 1 "Authors" column
+	AcceptanceRate float64 // Table 1 "Acceptance"
+
+	DoubleBlind     bool
+	DiversityChair  bool
+	CodeOfConduct   bool
+	Childcare       bool
+	WomenAttendance float64 // reported attendance demographic, 0 = unshared
+
+	FAR     float64 // target female ratio among author slots
+	LeadFAR float64 // target female ratio among lead authors
+	LastFAR float64 // target female ratio among last authors
+
+	PCChairs      RoleQuota
+	PCMembers     RoleQuota
+	Keynotes      RoleQuota
+	Panelists     RoleQuota
+	SessionChairs RoleQuota
+
+	// HPCFrac is the fraction of this conference's papers that carry the
+	// manual "directly HPC" topic tag of §4.1.
+	HPCFrac float64
+
+	// HostBoost multiplies the host region's weight in the country mix.
+	HostBoost float64
+
+	// Subfield labels the venue's systems subfield for the 56-conference
+	// extension ("" defaults to "HPC" for the core corpora).
+	Subfield string
+}
+
+// CountrySpec calibrates one country's share of the researcher population
+// and its female researcher ratio (Table 2 / Fig 7 targets).
+type CountrySpec struct {
+	Code   string
+	Weight float64 // relative share of researchers (normalized at use)
+	FAR    float64 // female ratio among this country's researchers
+}
+
+// Config is the full generator calibration.
+type Config struct {
+	Seed  uint64
+	Confs []ConfSpec
+
+	Countries []CountrySpec
+
+	// Sector mix (must sum to ~1): the paper's 8.6 / 72.8 / 18.6 split.
+	SectorEDU float64
+	SectorCOM float64
+	SectorGOV float64
+	// ComWomenPenalty scales the probability that a woman lands in
+	// industry, reproducing Fig 8's slightly lower COM ratios.
+	ComWomenPenalty float64
+
+	// Gender-assignment pipeline targets (§2): manual / automated-eligible
+	// coverage. The residue stays Unknown.
+	ManualEvidenceRate float64 // P(conclusive web evidence) = 0.9518
+	ConfidentNameRate  float64 // P(confident forename | no evidence) ≈ 0.37
+
+	// Author-slot reuse probabilities produce the unique-vs-slot gaps
+	// (1885 unique coauthors; 908 unique vs 1220 PC slots).
+	AuthorReuse float64 // P(an author slot reuses an existing researcher)
+	PCReuse     float64 // P(a PC slot reuses an existing researcher)
+
+	// Experience model (latent log-scale shifts feed scholar.CareerModel).
+	PubMu        float64 // base log publication count
+	PubSigma     float64
+	CiteMu       float64 // per-paper citation log-mean
+	CiteSigma    float64
+	CitePZero    float64
+	MaleShift    float64 // latent shift for men (the "pull to the right")
+	FemaleShift  float64 // latent shift for women
+	PCBoost      float64 // latent shift for researchers recruited as PC members
+	LatentSigma  float64 // researcher-to-researcher latent spread
+	GSBaseCover  float64 // base probability of a GS profile at latent 0
+	GSCoverSlope float64 // coverage increase per unit latent
+
+	// Paper-citation model at 36 months by lead-author gender (§4.2).
+	CiteLeadMMu    float64
+	CiteLeadMSigma float64
+	CiteLeadFMu    float64
+	CiteLeadFSigma float64
+	CitePZeroPaper float64
+	// Outlier injection: the >450-citation non-HPC female-led paper.
+	OutlierCitations int
+	OutlierConf      dataset.ConfID
+
+	// BernoulliGenders switches gender slot assignment from quota
+	// sampling (default; per-conference ratios land on target) to
+	// independent Bernoulli draws. Kept for the ablation bench showing
+	// why quota sampling is needed to pin small-roster counts.
+	BernoulliGenders bool
+
+	// ManualErrRate injects errors into the manual gender-assignment
+	// stage (the paper's survey validated it as error-free, so the
+	// default is 0). Used by the failure-injection tests to check that
+	// the survey machinery detects a corrupted pipeline.
+	ManualErrRate float64
+}
+
+// Default2017 returns the calibration for the paper's main corpus: the
+// nine 2017 conferences of Table 1 with every published marginal.
+func Default2017(seed uint64) Config {
+	d := func(m time.Month, day int) time.Time {
+		return time.Date(2017, m, day, 0, 0, 0, 0, time.UTC)
+	}
+	return Config{
+		Seed: seed,
+		Confs: []ConfSpec{
+			// Table 1, with role quotas reconstructed from §3.2-§3.3:
+			// 36 PC chairs, 1220 PC slots (SC 760 at 29.6% women = 225),
+			// 30 keynotes (4 confs with zero women), 106 panelists,
+			// 158 session chairs (HPDC+HPCC+HiPC = 45 with zero women,
+			// SC near parity).
+			{
+				ID: "CCGRID17", Name: "CCGrid", Year: 2017, Date: d(time.May, 14),
+				CountryCode: "ES", Papers: 72, AuthorSlots: 296, AcceptanceRate: 0.252,
+				FAR: 0.105, LeadFAR: 0.118, LastFAR: 0.088,
+				PCChairs: RoleQuota{4, 1}, PCMembers: RoleQuota{130, 21},
+				Keynotes: RoleQuota{3, 1}, Panelists: RoleQuota{12, 2},
+				SessionChairs: RoleQuota{18, 2}, HPCFrac: 0.30, HostBoost: 2.5,
+			},
+			{
+				ID: "IPDPS17", Name: "IPDPS", Year: 2017, Date: d(time.May, 29),
+				CountryCode: "US", Papers: 116, AuthorSlots: 447, AcceptanceRate: 0.228,
+				FAR: 0.100, LeadFAR: 0.115, LastFAR: 0.085,
+				PCChairs: RoleQuota{4, 1}, PCMembers: RoleQuota{160, 26},
+				Keynotes: RoleQuota{3, 1}, Panelists: RoleQuota{14, 2},
+				SessionChairs: RoleQuota{22, 3}, HPCFrac: 0.35, HostBoost: 1.2,
+			},
+			{
+				ID: "ISC17", Name: "ISC", Year: 2017, Date: d(time.June, 18),
+				CountryCode: "DE", Papers: 22, AuthorSlots: 99, AcceptanceRate: 0.333,
+				DoubleBlind: true, DiversityChair: true, CodeOfConduct: true,
+				FAR: 0.0577, LeadFAR: 0.060, LastFAR: 0.050,
+				PCChairs: RoleQuota{4, 1}, PCMembers: RoleQuota{95, 15},
+				Keynotes: RoleQuota{4, 1}, Panelists: RoleQuota{10, 1},
+				SessionChairs: RoleQuota{8, 1}, HPCFrac: 0.55, HostBoost: 2.0,
+			},
+			{
+				ID: "HPDC17", Name: "HPDC", Year: 2017, Date: d(time.June, 28),
+				CountryCode: "US", Papers: 19, AuthorSlots: 76, AcceptanceRate: 0.190,
+				FAR: 0.095, LeadFAR: 0.110, LastFAR: 0.080,
+				PCChairs: RoleQuota{4, 0}, PCMembers: RoleQuota{90, 14},
+				Keynotes: RoleQuota{2, 0}, Panelists: RoleQuota{8, 1},
+				SessionChairs: RoleQuota{12, 0}, HPCFrac: 0.45, HostBoost: 1.2,
+			},
+			{
+				ID: "ICPP17", Name: "ICPP", Year: 2017, Date: d(time.August, 14),
+				CountryCode: "UK", Papers: 60, AuthorSlots: 234, AcceptanceRate: 0.286,
+				FAR: 0.105, LeadFAR: 0.118, LastFAR: 0.090,
+				PCChairs: RoleQuota{4, 0}, PCMembers: RoleQuota{120, 19},
+				Keynotes: RoleQuota{3, 0}, Panelists: RoleQuota{12, 1},
+				SessionChairs: RoleQuota{16, 2}, HPCFrac: 0.30, HostBoost: 2.0,
+			},
+			{
+				ID: "EUROPAR17", Name: "EuroPar", Year: 2017, Date: d(time.August, 30),
+				CountryCode: "ES", Papers: 50, AuthorSlots: 179, AcceptanceRate: 0.284,
+				FAR: 0.110, LeadFAR: 0.125, LastFAR: 0.095,
+				PCChairs: RoleQuota{4, 1}, PCMembers: RoleQuota{115, 18},
+				Keynotes: RoleQuota{4, 1}, Panelists: RoleQuota{10, 1},
+				SessionChairs: RoleQuota{19, 2}, HPCFrac: 0.30, HostBoost: 2.5,
+			},
+			{
+				ID: "SC17", Name: "SC", Year: 2017, Date: d(time.November, 13),
+				CountryCode: "US", Papers: 61, AuthorSlots: 325, AcceptanceRate: 0.187,
+				DoubleBlind: true, DiversityChair: true, CodeOfConduct: true,
+				Childcare: true, WomenAttendance: 0.14,
+				FAR: 0.0812, LeadFAR: 0.065, LastFAR: 0.070,
+				PCChairs: RoleQuota{4, 2}, PCMembers: RoleQuota{225, 67},
+				Keynotes: RoleQuota{4, 2}, Panelists: RoleQuota{24, 6},
+				SessionChairs: RoleQuota{30, 14}, HPCFrac: 0.50, HostBoost: 1.2,
+			},
+			{
+				ID: "HIPC17", Name: "HiPC", Year: 2017, Date: d(time.December, 18),
+				CountryCode: "IN", Papers: 41, AuthorSlots: 168, AcceptanceRate: 0.223,
+				FAR: 0.090, LeadFAR: 0.100, LastFAR: 0.075,
+				PCChairs: RoleQuota{4, 0}, PCMembers: RoleQuota{130, 20},
+				Keynotes: RoleQuota{3, 0}, Panelists: RoleQuota{8, 1},
+				SessionChairs: RoleQuota{15, 0}, HPCFrac: 0.35, HostBoost: 8.0,
+			},
+			{
+				ID: "HPCC17", Name: "HPCC", Year: 2017, Date: d(time.December, 18),
+				CountryCode: "TH", Papers: 77, AuthorSlots: 287, AcceptanceRate: 0.438,
+				FAR: 0.120, LeadFAR: 0.130, LastFAR: 0.100,
+				PCChairs: RoleQuota{4, 0}, PCMembers: RoleQuota{155, 25},
+				Keynotes: RoleQuota{4, 0}, Panelists: RoleQuota{8, 1},
+				SessionChairs: RoleQuota{18, 0}, HPCFrac: 0.30, HostBoost: 6.0,
+			},
+		},
+		Countries:          defaultCountries(),
+		SectorEDU:          0.728,
+		SectorCOM:          0.086,
+		SectorGOV:          0.186,
+		ComWomenPenalty:    0.80,
+		ManualEvidenceRate: 0.9518,
+		ConfidentNameRate:  0.37,
+		AuthorReuse:        0.107,
+		PCReuse:            0.30,
+		PubMu:              4.1,
+		PubSigma:           1.0,
+		CiteMu:             1.7,
+		CiteSigma:          1.25,
+		CitePZero:          0.10,
+		MaleShift:          0.15,
+		FemaleShift:        -0.18,
+		PCBoost:            0.55,
+		LatentSigma:        0.45,
+		GSBaseCover:        0.66,
+		GSCoverSlope:       0.10,
+		CiteLeadMMu:        2.14,
+		CiteLeadMSigma:     0.80,
+		CiteLeadFMu:        1.78,
+		CiteLeadFSigma:     0.80,
+		CitePZeroPaper:     0.10,
+		OutlierCitations:   462,
+		OutlierConf:        "CCGRID17",
+	}
+}
+
+// defaultCountries is the researcher country mix with per-country female
+// ratios, calibrated to Table 2 ("Top ten countries by number of
+// researchers") and Fig 7 (the 25 countries with at least 10 authors).
+// Weights are relative researcher shares; FARs are the per-country female
+// ratios (e.g. US 15.38%, Japan 1.59%, Israel drives Western Asia's
+// 27.27%).
+func defaultCountries() []CountrySpec {
+	return []CountrySpec{
+		{"US", 0.465, 0.1538},
+		{"CN", 0.066, 0.1043},
+		{"FR", 0.049, 0.1361},
+		{"DE", 0.046, 0.0863},
+		{"ES", 0.041, 0.0894},
+		{"IN", 0.024, 0.0563},
+		{"CH", 0.021, 0.1406},
+		{"JP", 0.021, 0.0159},
+		{"GB", 0.017, 0.0769},
+		{"CA", 0.015, 0.0682},
+		{"IT", 0.015, 0.1000},
+		{"BR", 0.013, 0.0900},
+		{"AU", 0.009, 0.0833},
+		{"NL", 0.009, 0.0800},
+		{"KR", 0.008, 0.0500},
+		{"SE", 0.008, 0.0800},
+		{"IL", 0.008, 0.2727},
+		{"TW", 0.005, 0.0900},
+		{"PL", 0.005, 0.0500},
+		{"SG", 0.007, 0.0500},
+		{"GR", 0.004, 0.1200},
+		{"AT", 0.004, 0.0800},
+		{"BE", 0.004, 0.0900},
+		{"TR", 0.004, 0.1500},
+		{"RU", 0.004, 0.0200},
+		{"HK", 0.004, 0.0800},
+		{"DK", 0.003, 0.0700},
+		{"NO", 0.003, 0.0700},
+		{"FI", 0.003, 0.0800},
+		{"PT", 0.003, 0.0900},
+		{"CZ", 0.003, 0.0400},
+		{"SA", 0.003, 0.0500},
+		{"TH", 0.003, 0.0800},
+		{"IE", 0.002, 0.0800},
+		{"MX", 0.002, 0.1000},
+		{"AR", 0.002, 0.0900},
+		{"CL", 0.002, 0.0800},
+		{"ZA", 0.002, 0.0500},
+		{"NZ", 0.002, 0.0800},
+		{"HU", 0.002, 0.0400},
+		{"RO", 0.002, 0.0600},
+		{"EG", 0.001, 0.0500},
+		{"NG", 0.001, 0.2500},
+		{"UA", 0.001, 0.0300},
+		{"PK", 0.001, 0.0400},
+		{"VN", 0.001, 0.0700},
+		{"MY", 0.001, 0.1200},
+		{"AE", 0.001, 0.1000},
+		{"QA", 0.001, 0.1000},
+		{"CR", 0.0005, 0.5000},
+		{"KZ", 0.0005, 0.0500},
+		{"MA", 0.0005, 0.1000},
+	}
+}

@@ -1,0 +1,125 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// subfieldSpec calibrates one systems subfield for the extended corpus:
+// its venues and its female-author-ratio band. FAR targets follow the
+// literature the paper cites: HPC lowest (~10%), classic systems subfields
+// 10-14%, and human-facing or data-centric subfields closer to the CS-wide
+// 20-30% band.
+type subfieldSpec struct {
+	name   string
+	far    float64
+	venues []extVenue
+}
+
+type extVenue struct {
+	name    string
+	papers  int
+	slots   int
+	accept  float64
+	country string
+	month   time.Month
+	boost   float64
+}
+
+// ExtendedSystems returns the calibration for the paper's future-work
+// extension: a broad cross-section of computer-systems conferences beyond
+// the nine HPC(-related) venues, labeled by subfield. The venue list is a
+// representative synthetic slice of the "larger set of 56 conferences ...
+// from all subfields of computer systems" the authors collected.
+func ExtendedSystems(seed uint64) Config {
+	cfg := Default2017(seed)
+	// Keep the nine HPC venues (already labeled HPC by default) and add
+	// the other subfields.
+	subfields := []subfieldSpec{
+		{"OS", 0.115, []extVenue{
+			{"SOSP-like", 39, 180, 0.17, "CN", time.October, 1.0},
+			{"EuroSys-like", 41, 170, 0.21, "RS", time.April, 1.5},
+			{"ATC-like", 60, 260, 0.22, "US", time.July, 1.2},
+		}},
+		{"Networking", 0.130, []extVenue{
+			{"NSDI-like", 46, 210, 0.18, "US", time.March, 1.2},
+			{"SIGCOMM-like", 36, 170, 0.14, "US", time.August, 1.2},
+			{"CoNEXT-like", 40, 160, 0.19, "KR", time.December, 2.0},
+		}},
+		{"Databases", 0.180, []extVenue{
+			{"SIGMOD-like", 96, 420, 0.20, "US", time.May, 1.2},
+			{"VLDB-like", 100, 430, 0.21, "DE", time.August, 1.5},
+		}},
+		{"Architecture", 0.110, []extVenue{
+			{"ISCA-like", 54, 260, 0.17, "CA", time.June, 1.5},
+			{"MICRO-like", 61, 280, 0.19, "US", time.October, 1.2},
+			{"HPCA-like", 50, 230, 0.21, "US", time.February, 1.2},
+		}},
+		{"Security", 0.140, []extVenue{
+			{"Oakland-like", 60, 270, 0.13, "US", time.May, 1.2},
+			{"CCS-like", 110, 470, 0.18, "US", time.November, 1.2},
+		}},
+		{"Cloud", 0.160, []extVenue{
+			{"SoCC-like", 45, 190, 0.24, "US", time.September, 1.2},
+			{"Middleware-like", 20, 85, 0.25, "US", time.December, 1.0},
+		}},
+		{"Storage", 0.125, []extVenue{
+			{"FAST-like", 27, 120, 0.23, "US", time.February, 1.2},
+		}},
+		{"Measurement", 0.190, []extVenue{
+			{"IMC-like", 42, 170, 0.26, "GB", time.November, 2.0},
+		}},
+		{"WebData", 0.220, []extVenue{
+			{"WWW-like", 164, 680, 0.17, "AU", time.April, 2.0},
+		}},
+	}
+	for _, sf := range subfields {
+		for _, v := range sf.venues {
+			// Host countries outside the researcher mix table (e.g.
+			// Serbia) are legal: the host boost simply has nothing to
+			// amplify there.
+			id := dataset.ConfID(fmt.Sprintf("%s17", sanitizeID(v.name)))
+			cfg.Confs = append(cfg.Confs, ConfSpec{
+				ID: id, Name: v.name, Year: 2017,
+				Date:        time.Date(2017, v.month, 10, 0, 0, 0, 0, time.UTC),
+				CountryCode: v.country, Papers: v.papers, AuthorSlots: v.slots,
+				AcceptanceRate: v.accept,
+				FAR:            sf.far, LeadFAR: sf.far * 1.08, LastFAR: sf.far * 0.85,
+				PCChairs:  RoleQuota{3, chairWomen(sf.far)},
+				PCMembers: RoleQuota{v.papers, int(float64(v.papers) * sf.far * 1.7)},
+				Keynotes:  RoleQuota{2, 0}, Panelists: RoleQuota{6, 1},
+				SessionChairs: RoleQuota{10, int(10 * sf.far)},
+				HPCFrac:       0.05, HostBoost: v.boost,
+				Subfield: sf.name,
+			})
+		}
+	}
+	// The extended corpus has no single designated outlier.
+	cfg.OutlierCitations = 0
+	cfg.OutlierConf = ""
+	return cfg
+}
+
+func chairWomen(far float64) int {
+	if far >= 0.15 {
+		return 1
+	}
+	return 0
+}
+
+// sanitizeID turns a venue name into an ID-safe token.
+func sanitizeID(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			out = append(out, c-('a'-'A'))
+		case c >= 'A' && c <= 'Z' || c >= '0' && c <= '9':
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,50 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// FlagshipSeries returns the calibration for the §3.4 case study: SC and
+// ISC across the five-year window 2016-2020. FAR targets follow the
+// paper's reported ranges (SC around 8-9% with attendance steady at
+// 13-14%, except SC's self-reported 12% for 2018; ISC between 5% and 9%).
+func FlagshipSeries(seed uint64) Config {
+	cfg := Default2017(seed)
+	cfg.Confs = nil
+
+	scFAR := map[int]float64{2016: 0.086, 2017: 0.0812, 2018: 0.090, 2019: 0.079, 2020: 0.088}
+	scAtt := map[int]float64{2016: 0.135, 2017: 0.14, 2018: 0.12, 2019: 0.135, 2020: 0.14}
+	iscFAR := map[int]float64{2016: 0.065, 2017: 0.0577, 2018: 0.075, 2019: 0.090, 2020: 0.052}
+
+	for year := 2016; year <= 2020; year++ {
+		cfg.Confs = append(cfg.Confs, ConfSpec{
+			ID:   dataset.ConfID(fmt.Sprintf("SC%02d", year%100)),
+			Name: "SC", Year: year,
+			Date:        time.Date(year, time.November, 13, 0, 0, 0, 0, time.UTC),
+			CountryCode: "US", Papers: 61, AuthorSlots: 325, AcceptanceRate: 0.19,
+			DoubleBlind: true, DiversityChair: true, CodeOfConduct: true, Childcare: true,
+			WomenAttendance: scAtt[year],
+			FAR:             scFAR[year], LeadFAR: scFAR[year] * 0.85, LastFAR: scFAR[year] * 0.85,
+			PCChairs: RoleQuota{4, 2}, PCMembers: RoleQuota{300, 85},
+			Keynotes: RoleQuota{4, 2}, Panelists: RoleQuota{20, 5},
+			SessionChairs: RoleQuota{30, 13}, HPCFrac: 0.80, HostBoost: 1.2,
+		}, ConfSpec{
+			ID:   dataset.ConfID(fmt.Sprintf("ISC%02d", year%100)),
+			Name: "ISC", Year: year,
+			Date:        time.Date(year, time.June, 18, 0, 0, 0, 0, time.UTC),
+			CountryCode: "DE", Papers: 22, AuthorSlots: 99, AcceptanceRate: 0.33,
+			DoubleBlind: true, DiversityChair: true, CodeOfConduct: true,
+			FAR: iscFAR[year], LeadFAR: iscFAR[year], LastFAR: iscFAR[year] * 0.9,
+			PCChairs: RoleQuota{4, 1}, PCMembers: RoleQuota{50, 8},
+			Keynotes: RoleQuota{4, 1}, Panelists: RoleQuota{10, 1},
+			SessionChairs: RoleQuota{8, 1}, HPCFrac: 0.85, HostBoost: 2.0,
+		})
+	}
+	// Only one outlier exists in the 2017 corpus; the series has none.
+	cfg.OutlierCitations = 0
+	cfg.OutlierConf = ""
+	return cfg
+}

@@ -1,0 +1,9 @@
+package synth
+
+import "math/rand/v2"
+
+// randFor builds the same PCG stream the generator uses, for white-box
+// helper tests.
+func randFor(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/affil"
+	"repro/internal/countries"
+)
+
+// Institution-name fragments for synthesizing plausible affiliations whose
+// strings the affil classifier can parse back into the same country and
+// sector — keeping the corpus internally consistent end to end.
+var (
+	citySyllA = []string{"Spring", "River", "North", "South", "East", "West",
+		"Oak", "Maple", "Stone", "Clear", "High", "Bright", "Silver", "Iron"}
+	citySyllB = []string{"field", "ton", "ville", "burg", "haven", "port",
+		"wood", "dale", "bridge", "crest", "view", "mont"}
+	companyA = []string{"Apex", "Vertex", "Quantum", "Nimbus", "Vector",
+		"Parallel", "Cluster", "Exa", "Peta", "Torrent", "Lattice", "Kernel"}
+	companyB = []string{"Systems", "Computing", "Technologies", "Networks",
+		"Analytics", "Dynamics", "Microsystems", "Data"}
+	labA = []string{"Ridge", "Valley", "Mesa", "Canyon", "Summit", "Plains",
+		"Lakes", "Coastal", "Desert", "Alpine"}
+)
+
+// makeCity synthesizes a city-like slug.
+func makeCity(rng *rand.Rand) string {
+	return citySyllA[rng.IntN(len(citySyllA))] + citySyllB[rng.IntN(len(citySyllB))]
+}
+
+// makeAffiliation returns a plausible (affiliation, emailDomain) pair for a
+// researcher in the given country and sector.
+func makeAffiliation(rng *rand.Rand, countryCode string, sector affil.Sector) (string, string) {
+	c, _ := countries.ByCode(countryCode)
+	tld := c.TLD
+	if tld == "" {
+		tld = "org"
+	}
+	city := makeCity(rng)
+	slug := strings.ToLower(city)
+	switch sector {
+	case affil.GOV:
+		name := labA[rng.IntN(len(labA))] + " National Laboratory"
+		if countryCode == "US" {
+			return name, slug + "lab.gov"
+		}
+		return name + ", " + c.Name, slug + "-lab." + tld
+	case affil.COM:
+		name := companyA[rng.IntN(len(companyA))] + " " + companyB[rng.IntN(len(companyB))] + " Inc."
+		// Generic .com domain carries no country signal, so the country
+		// appears in the affiliation text, as it does on real papers.
+		return name + ", " + c.Name, slug + "-" + strings.ToLower(companyA[rng.IntN(len(companyA))]) + ".com"
+	default: // EDU
+		name := "University of " + city
+		switch countryCode {
+		case "US":
+			return name, slug + ".edu"
+		case "GB", "JP", "IN", "KR", "CN", "TH", "IL", "NZ", "ZA":
+			return name + ", " + c.Name, slug + ".ac." + usedTLD(tld)
+		case "AU", "BR", "MX", "AR", "SG", "MY", "HK", "TW", "SA", "EG", "TR":
+			return name + ", " + c.Name, slug + ".edu." + usedTLD(tld)
+		default:
+			return name + ", " + c.Name, slug + "-univ." + tld
+		}
+	}
+}
+
+// usedTLD maps GB to the "uk" ccTLD actually used in domains.
+func usedTLD(tld string) string {
+	if tld == "gb" {
+		return "uk"
+	}
+	return tld
+}
+
+// makeEmail builds the researcher's email on the institutional domain.
+func makeEmail(forename, surname, domain string) string {
+	clean := func(s string) string {
+		var b strings.Builder
+		for _, r := range strings.ToLower(s) {
+			if r >= 'a' && r <= 'z' {
+				b.WriteRune(r)
+			}
+		}
+		if b.Len() == 0 {
+			return "x"
+		}
+		return b.String()
+	}
+	return clean(forename) + "." + clean(surname) + "@" + domain
+}

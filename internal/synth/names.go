@@ -1,0 +1,117 @@
+package synth
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/gender"
+)
+
+// Surname pools by origin, used to assemble full researcher names. The
+// gender signal lives entirely in the forename (as the inference substrate
+// assumes); surnames only add realism and uniqueness.
+var surnames = map[gender.Origin][]string{
+	gender.OriginWestern: {
+		"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia",
+		"Miller", "Davis", "Rodriguez", "Martinez", "Andersson", "Mueller",
+		"Schmidt", "Fischer", "Weber", "Rossi", "Ferrari", "Dubois",
+		"Martin", "Bernard", "Lopez", "Gonzalez", "Fernandez", "Silva",
+		"Santos", "Kowalski", "Novak", "Nielsen", "Hansen", "Janssen",
+		"Frachtenberg", "Keller", "Baumann", "Moreau", "Costa",
+	},
+	gender.OriginChinese: {
+		"Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao",
+		"Wu", "Zhou", "Xu", "Sun", "Ma", "Zhu", "Hu", "Guo", "He", "Gao",
+		"Lin", "Luo",
+	},
+	gender.OriginIndian: {
+		"Sharma", "Patel", "Singh", "Kumar", "Gupta", "Reddy", "Iyer",
+		"Mehta", "Joshi", "Nair", "Rao", "Chandra", "Bose", "Desai",
+		"Agarwal", "Banerjee", "Mukherjee", "Krishnan",
+	},
+	gender.OriginJapanese: {
+		"Sato", "Suzuki", "Takahashi", "Tanaka", "Watanabe", "Ito",
+		"Yamamoto", "Nakamura", "Kobayashi", "Kato", "Matsumoto", "Inoue",
+	},
+	gender.OriginKorean: {
+		"Kim", "Lee", "Park", "Choi", "Jung", "Kang", "Cho", "Yoon",
+		"Jang", "Lim",
+	},
+	gender.OriginArabic: {
+		"Al-Farsi", "Hassan", "Abdullah", "Rahman", "Karim", "Nasser",
+		"Saleh", "Amin", "Haddad", "Mansour",
+	},
+}
+
+// originOf maps an ISO country code to the dominant name-origin group used
+// when minting a researcher from that country.
+func originOf(countryCode string) gender.Origin {
+	switch countryCode {
+	case "CN", "TW", "HK", "SG":
+		return gender.OriginChinese
+	case "IN", "PK", "LK", "BD", "NP":
+		return gender.OriginIndian
+	case "JP":
+		return gender.OriginJapanese
+	case "KR":
+		return gender.OriginKorean
+	case "SA", "AE", "EG", "QA", "JO", "MA", "DZ", "TN", "LB":
+		return gender.OriginArabic
+	default:
+		return gender.OriginWestern
+	}
+}
+
+// forenamePools caches the bank name pools per (origin, dominant gender).
+var forenamePools = func() map[gender.Origin]map[gender.Gender][]string {
+	m := make(map[gender.Origin]map[gender.Gender][]string)
+	for _, o := range []gender.Origin{
+		gender.OriginWestern, gender.OriginChinese, gender.OriginIndian,
+		gender.OriginJapanese, gender.OriginKorean, gender.OriginArabic,
+	} {
+		m[o] = map[gender.Gender][]string{
+			gender.Female: gender.BankNames(o, gender.Female),
+			gender.Male:   gender.BankNames(o, gender.Male),
+		}
+	}
+	return m
+}()
+
+var ambiguousPool = gender.AmbiguousNames()
+
+// drawForename picks a forename for the given origin and true gender.
+// When confident is true, the name comes from the origin's dominant-gender
+// pool (falling back to Western, which is always populated), so the
+// automated inference stage can resolve it. Otherwise the name comes from
+// the ambiguous pool, which stays below the 70% confidence floor.
+func drawForename(rng *rand.Rand, origin gender.Origin, g gender.Gender, confident bool) string {
+	if !confident {
+		return ambiguousPool[rng.IntN(len(ambiguousPool))]
+	}
+	pool := forenamePools[origin][g]
+	if len(pool) == 0 {
+		pool = forenamePools[gender.OriginWestern][g]
+	}
+	return pool[rng.IntN(len(pool))]
+}
+
+// drawSurname picks a surname for the origin.
+func drawSurname(rng *rand.Rand, origin gender.Origin) string {
+	pool := surnames[origin]
+	if len(pool) == 0 {
+		pool = surnames[gender.OriginWestern]
+	}
+	return pool[rng.IntN(len(pool))]
+}
+
+// titleCase uppercases the first byte of an ASCII name (the bank stores
+// forenames lowercase).
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}

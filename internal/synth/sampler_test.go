@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/gender"
+	"repro/internal/stats"
+)
+
+// TestCountrySamplerPreservesMarginals: the gender-conditional reweighting
+// must leave the overall country mix intact — women are redistributed
+// across countries, not invented in some and erased in others.
+func TestCountrySamplerPreservesMarginals(t *testing.T) {
+	cfg := Default2017(1)
+	g := &gen{cfg: cfg, rng: randFor(77)}
+	g.buildCountrySamplers()
+	s := g.samplers["IPDPS17"] // mild host boost (US x1.2)
+
+	const n = 60000
+	counts := map[string]float64{}
+	for i := 0; i < n; i++ {
+		// Draw with the corpus' true gender mix (~10% female).
+		truth := gender.Male
+		if g.rng.Float64() < 0.10 {
+			truth = gender.Female
+		}
+		counts[s.draw(g.rng, truth)]++
+	}
+	// Compare realized counts against the configured weights (host boost
+	// applied) with a goodness-of-fit test; small cells are pooled so the
+	// expected counts stay large enough for the chi-squared approximation.
+	var totalW float64
+	boosted := func(cs CountrySpec) float64 {
+		w := cs.Weight
+		if cs.Code == "US" {
+			w *= 1.2
+		}
+		return w
+	}
+	for _, cs := range cfg.Countries {
+		totalW += boosted(cs)
+	}
+	var obs, probs []float64
+	var minor, minorP float64
+	for _, cs := range cfg.Countries {
+		p := boosted(cs) / totalW
+		if p < 0.01 {
+			minor += counts[cs.Code]
+			minorP += p
+			continue
+		}
+		obs = append(obs, counts[cs.Code])
+		probs = append(probs, p)
+	}
+	obs = append(obs, minor)
+	probs = append(probs, minorP)
+	res, err := stats.ChiSquaredGoodnessOfFit(obs, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.001 {
+		t.Errorf("country marginal distorted: chi2 = %.2f, p = %g", res.ChiSq, res.P)
+	}
+}
+
+// TestCountrySamplerGenderConditioning: women draw high-FAR countries more
+// often than men do, the mechanism behind Table 2's per-country ratios.
+func TestCountrySamplerGenderConditioning(t *testing.T) {
+	cfg := Default2017(1)
+	g := &gen{cfg: cfg, rng: randFor(13)}
+	g.buildCountrySamplers()
+	s := g.samplers["SC17"]
+
+	const n = 40000
+	fUS, mUS, fJP, mJP := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		if s.draw(g.rng, gender.Female) == "US" {
+			fUS++
+		}
+		if s.draw(g.rng, gender.Male) == "US" {
+			mUS++
+		}
+		if s.draw(g.rng, gender.Female) == "JP" {
+			fJP++
+		}
+		if s.draw(g.rng, gender.Male) == "JP" {
+			mJP++
+		}
+	}
+	// US has above-average FAR (15.4% vs ~12% weighted mean): women must
+	// land there more often than men.
+	if !(fUS > mUS) {
+		t.Errorf("US draws: %d female vs %d male; want female-heavy", fUS, mUS)
+	}
+	// Japan has the lowest FAR (1.6%): women land there far less often.
+	if !(float64(fJP) < 0.4*float64(mJP)) {
+		t.Errorf("JP draws: %d female vs %d male; want strong male skew", fJP, mJP)
+	}
+}

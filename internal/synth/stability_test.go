@@ -1,0 +1,79 @@
+package synth
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestCalibrationStableAcrossSeeds guards the calibration against seed
+// luck: the headline marginals must hold for every seed, not just the
+// canonical one. This is the reproduction's analog of the paper's claim
+// that its numbers are properties of the field, not of one sample.
+func TestCalibrationStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed generation is slow")
+	}
+	for _, seed := range []uint64{2, 101, 555, 9001, 123456} {
+		seed := seed
+		t.Run(strconv.FormatUint(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			c, err := Generate(Default2017(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := c.Data
+			if err := d.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			far := d.CountGenders(d.AuthorSlots()).FemaleRatio()
+			if far < 0.085 || far > 0.12 {
+				t.Errorf("seed %d: FAR %.4f", seed, far)
+			}
+			pc := d.CountGenders(d.RoleSlots(dataset.RolePCMember)).FemaleRatio()
+			if pc < 0.15 || pc > 0.22 {
+				t.Errorf("seed %d: PC ratio %.4f", seed, pc)
+			}
+			if pc < 1.4*far {
+				t.Errorf("seed %d: PC (%.4f) not well above authors (%.4f)", seed, pc, far)
+			}
+			// Structural pins hold for every seed.
+			if got := len(d.Papers); got != 518 {
+				t.Errorf("seed %d: %d papers", seed, got)
+			}
+			if got := len(d.RoleSlots(dataset.RolePCMember)); got != 1220 {
+				t.Errorf("seed %d: %d PC slots", seed, got)
+			}
+			for _, id := range []dataset.ConfID{"HPDC17", "HPCC17", "HIPC17"} {
+				if w := d.CountGenders(d.RoleSlots(dataset.RoleSessionChair, id)).Women; w != 0 {
+					t.Errorf("seed %d: %s session chairs have %d women", seed, id, w)
+				}
+			}
+			// SC below overall at every seed. The strict ordering is a
+			// property of the true-gender quotas; the perceived ratio adds
+			// assignment noise, so it only gets a tolerance band.
+			trueFAR := func(ids []dataset.PersonID) float64 {
+				var women, known int
+				for _, id := range ids {
+					p, _ := d.Person(id)
+					if p == nil || !p.TrueGender.Known() {
+						continue
+					}
+					known++
+					if p.TrueGender.String() == "female" {
+						women++
+					}
+				}
+				return float64(women) / float64(known)
+			}
+			if scTrue, allTrue := trueFAR(d.AuthorSlots("SC17")), trueFAR(d.AuthorSlots()); scTrue >= allTrue {
+				t.Errorf("seed %d: SC true FAR %.4f not below overall %.4f", seed, scTrue, allTrue)
+			}
+			sc := d.CountGenders(d.AuthorSlots("SC17")).FemaleRatio()
+			if sc > far+0.015 {
+				t.Errorf("seed %d: SC perceived FAR %.4f far above overall %.4f", seed, sc, far)
+			}
+		})
+	}
+}

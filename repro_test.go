@@ -1,0 +1,254 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gender"
+)
+
+// study is the shared end-to-end fixture (deterministic per seed).
+var study = func() *Study {
+	s, err := NewStudy(2021)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}()
+
+func TestEndToEndHeadline(t *testing.T) {
+	// The paper's abstract in one test: women are about 10% of HPC
+	// authors, representation roughly doubles on PCs, and the flagship
+	// venues sit below the field average.
+	far := study.FAR()
+	if r := far.Overall.Ratio(); r < 0.08 || r > 0.12 {
+		t.Errorf("overall FAR %.4f (paper: 0.099)", r)
+	}
+	pc, err := study.PC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Overall.Ratio() < 1.5*far.Overall.Ratio() {
+		t.Errorf("PC ratio %.4f not well above FAR %.4f", pc.Overall.Ratio(), far.Overall.Ratio())
+	}
+	for _, row := range far.PerConf {
+		if row.Conf == study.SCID() && row.Ratio.Ratio() >= far.Overall.Ratio() {
+			t.Errorf("SC FAR %.4f not below overall", row.Ratio.Ratio())
+		}
+	}
+}
+
+func TestWriteReportCoversEveryExhibit(t *testing.T) {
+	var b bytes.Buffer
+	if err := study.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table 1", "Fig 1", "§3.1", "§3.2", "§3.3", "§3.4", "§4.1",
+		"Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6",
+		"Table 2", "Fig 7", "Table 3", "Fig 8", "Sensitivity",
+		"collaboration patterns", "multiplicity", "trend regressions",
+		"Conference profiles", "Google Scholar linkage",
+		"reception over time", "Kolmogorov-Smirnov",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	if len(out) < 5000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestSaveLoadRoundTripPreservesAnalyses(t *testing.T) {
+	dir := t.TempDir()
+	if err := study.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := study.FAR()
+	b := loaded.FAR()
+	if a.Overall != b.Overall || a.TotalSlots != b.TotalSlots || a.UniqueN != b.UniqueN {
+		t.Errorf("FAR diverged after round trip: %+v vs %+v", a, b)
+	}
+	pcA, err := study.PC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcB, err := loaded.PC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcA.Overall != pcB.Overall || pcA.SlotsTotal != pcB.SlotsTotal {
+		t.Errorf("PC analysis diverged after round trip")
+	}
+	if loaded.SCID() != study.SCID() {
+		t.Errorf("SCID diverged: %s vs %s", loaded.SCID(), study.SCID())
+	}
+}
+
+func TestLoadRejectsMissingDir(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty directory loaded")
+	}
+}
+
+func TestFromDataset(t *testing.T) {
+	if _, err := FromDataset(nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := FromDataset(dataset.New()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	s, err := FromDataset(study.Dataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SCID() != study.SCID() {
+		t.Error("SC detection diverged")
+	}
+}
+
+func TestFlagshipStudyTrend(t *testing.T) {
+	fs, err := NewFlagshipStudy(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := fs.Trend()
+	if len(points) != 10 {
+		t.Fatalf("%d trend points", len(points))
+	}
+	sc2017 := false
+	for _, p := range points {
+		if p.Series == "SC" && p.Year == 2017 {
+			sc2017 = true
+		}
+	}
+	if !sc2017 {
+		t.Error("SC 2017 missing from flagship trend")
+	}
+	if fs.SCID() != "SC17" {
+		t.Errorf("flagship SCID = %s", fs.SCID())
+	}
+}
+
+func TestSensitivityStableHeadline(t *testing.T) {
+	r, err := study.Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: forcing all unknowns does not flip observations.
+	// The strong effects (PC vs authors, novice gap) must never flip; the
+	// marginal ones may drift in p but not in direction.
+	for i, obs := range r.Baseline {
+		if signOf(r.AllWomen[i].Effect) != signOf(obs.Effect) && obs.Significant {
+			t.Errorf("significant observation %q flipped direction under all-women", obs.Name)
+		}
+		if signOf(r.AllMen[i].Effect) != signOf(obs.Effect) && obs.Significant {
+			t.Errorf("significant observation %q flipped direction under all-men", obs.Name)
+		}
+	}
+}
+
+func signOf(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func TestStudyAnalysesAgreeWithCore(t *testing.T) {
+	// The facade must be a thin delegation layer: spot-check two methods
+	// against direct core calls.
+	d := study.Dataset()
+	if got, want := study.FAR().Overall, core.AuthorFAR(d).Overall; got != want {
+		t.Errorf("FAR facade diverges: %v vs %v", got, want)
+	}
+	gotRows := study.TopCountries(5)
+	wantRows := core.TopCountries(d, 5)
+	if len(gotRows) != len(wantRows) || gotRows[0] != wantRows[0] {
+		t.Error("TopCountries facade diverges")
+	}
+}
+
+func TestExtendedStudySubfields(t *testing.T) {
+	ext, err := NewExtendedStudy(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ext.Subfields()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Rows) < 8 {
+		t.Fatalf("%d subfields", len(sub.Rows))
+	}
+	if !(sub.HPC.Ratio() < sub.Others.Ratio()) {
+		t.Errorf("HPC %.4f not below other subfields %.4f", sub.HPC.Ratio(), sub.Others.Ratio())
+	}
+	// The all-HPC core corpus reports not-applicable.
+	if _, err := study.Subfields(); err == nil {
+		t.Error("single-subfield corpus should not support the comparison")
+	}
+	// The extended report renders end-to-end.
+	var b bytes.Buffer
+	if err := ext.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 {
+		t.Error("empty extended report")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	p, err := study.Profile(study.SCID())
+	if err != nil || p.Name != "SC" {
+		t.Fatalf("Profile: %+v, %v", p, err)
+	}
+	profiles, err := study.Profiles()
+	if err != nil || len(profiles) != 9 {
+		t.Fatalf("Profiles: %d, %v", len(profiles), err)
+	}
+	link := study.Linkage()
+	if link.Coverage <= 0.5 || link.Coverage >= 1 {
+		t.Errorf("Linkage coverage %.3f", link.Coverage)
+	}
+	traj, err := study.Trajectory(12, 36)
+	if err != nil || len(traj.Points) != 2 {
+		t.Fatalf("Trajectory: %+v, %v", traj, err)
+	}
+	rep, err := ReplicateDefault(2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicates != 2 || len(rep.Metrics) == 0 {
+		t.Errorf("ReplicateDefault: %+v", rep)
+	}
+}
+
+func TestCorpusGenderAccountingConsistent(t *testing.T) {
+	// Cross-module invariant: CountGenders over all roles never counts
+	// more women than known-gender researchers exist.
+	d := study.Dataset()
+	totalWomen := 0
+	for _, p := range d.Persons {
+		if p.Gender == gender.Female {
+			totalWomen++
+		}
+	}
+	unique := d.CountGenders(d.UniqueAuthorsAndPC())
+	if unique.Women > totalWomen {
+		t.Errorf("unique role women %d exceeds corpus women %d", unique.Women, totalWomen)
+	}
+}

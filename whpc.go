@@ -1,0 +1,325 @@
+// Package repro is a Go reproduction of "Representation of Women in HPC
+// Conferences" (Frachtenberg & Kaner, SC '21). It bundles a calibrated
+// synthetic-corpus generator standing in for the paper's manually scraped
+// dataset, the full statistical analysis pipeline (female author ratios,
+// role representation, blind-review and author-position contrasts, citation
+// reception, experience stratification, geography, sector, and the
+// unknown-gender sensitivity analysis), and text renderers that regenerate
+// every table and figure in the paper.
+//
+// Quick start:
+//
+//	study, err := repro.NewStudy(42)
+//	if err != nil { ... }
+//	far := study.FAR()
+//	fmt.Printf("overall FAR: %s\n", far.Overall) // ~10% of authors are women
+//	study.WriteReport(os.Stdout)                 // the whole paper
+//
+// The corpus is deterministic per seed; the same seed always reproduces
+// the identical dataset, mirroring the frozen-CSV artifact of the original
+// paper. Use Save/Load to round-trip a corpus through CSV files.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+// Study wraps a corpus with the paper's analyses. The zero value is not
+// usable; construct with NewStudy, NewFlagshipStudy, NewStudyFromConfig or
+// Load.
+type Study struct {
+	data *dataset.Dataset
+	// scID is the SC edition used by the §3.2 PC breakdown ("" when the
+	// corpus carries no SC).
+	scID dataset.ConfID
+}
+
+// NewStudy generates the paper's main 2017 nine-conference corpus with the
+// given seed and returns it wrapped in a Study.
+func NewStudy(seed uint64) (*Study, error) {
+	return NewStudyFromConfig(synth.Default2017(seed))
+}
+
+// NewFlagshipStudy generates the §3.4 SC/ISC 2016-2020 corpus.
+func NewFlagshipStudy(seed uint64) (*Study, error) {
+	return NewStudyFromConfig(synth.FlagshipSeries(seed))
+}
+
+// NewExtendedStudy generates the future-work extended corpus: the nine HPC
+// venues plus a cross-section of other computer-systems subfields.
+func NewExtendedStudy(seed uint64) (*Study, error) {
+	return NewStudyFromConfig(synth.ExtendedSystems(seed))
+}
+
+// NewStudyFromConfig generates a corpus from a custom calibration.
+func NewStudyFromConfig(cfg synth.Config) (*Study, error) {
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{data: corpus.Data, scID: findSC(corpus.Data)}, nil
+}
+
+// FromDataset wraps an existing dataset (e.g. hand-loaded CSVs of a real
+// corpus) in a Study.
+func FromDataset(d *dataset.Dataset) (*Study, error) {
+	if d == nil {
+		return nil, fmt.Errorf("repro: nil dataset")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &Study{data: d, scID: findSC(d)}, nil
+}
+
+// Load reads a corpus previously written with Save.
+func Load(dir string) (*Study, error) {
+	d, err := dataset.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{data: d, scID: findSC(d)}, nil
+}
+
+// Save writes the corpus as CSV files into dir.
+func (s *Study) Save(dir string) error { return s.data.SaveDir(dir) }
+
+// Dataset exposes the underlying corpus for custom analyses.
+func (s *Study) Dataset() *dataset.Dataset { return s.data }
+
+// SCID returns the SC conference edition used for SC-specific breakdowns.
+func (s *Study) SCID() dataset.ConfID { return s.scID }
+
+func findSC(d *dataset.Dataset) dataset.ConfID {
+	// Prefer the 2017 edition when several SC years are present.
+	var first dataset.ConfID
+	for _, c := range d.Conferences {
+		if c.Name != "SC" {
+			continue
+		}
+		if first == "" {
+			first = c.ID
+		}
+		if c.Year == 2017 {
+			return c.ID
+		}
+	}
+	return first
+}
+
+// FAR computes the §3.1 female author ratios (overall and per conference).
+func (s *Study) FAR() core.FARResult { return core.AuthorFAR(s.data) }
+
+// BlindReview computes the §3.1 double- vs single-blind contrast.
+func (s *Study) BlindReview() (core.BlindComparison, error) {
+	return core.CompareBlindReview(s.data)
+}
+
+// Positions computes the §3.1 lead/last author-position analysis.
+func (s *Study) Positions() (core.PositionComparison, error) {
+	return core.CompareAuthorPositions(s.data)
+}
+
+// Roles computes the Fig 1 role-representation matrix.
+func (s *Study) Roles() core.RoleTable { return core.RoleRepresentation(s.data) }
+
+// PC computes the §3.2 program-committee analysis.
+func (s *Study) PC() (core.PCAnalysis, error) {
+	return core.ProgramCommittee(s.data, s.scID)
+}
+
+// VisibleRoles computes the §3.3 keynote/panelist/session-chair analysis.
+func (s *Study) VisibleRoles() []core.VisibleRoleStats {
+	return core.VisibleRoles(s.data)
+}
+
+// Topic computes the §4.1 HPC-only subset analysis.
+func (s *Study) Topic() (core.TopicAnalysis, error) {
+	return core.HPCOnlySubset(s.data)
+}
+
+// Citations computes the §4.2 / Fig 2 reception analysis. A threshold of 0
+// uses the paper's 450-citation outlier cutoff.
+func (s *Study) Citations(outlierThreshold int) (core.CitationAnalysis, error) {
+	return core.CitationReception(s.data, outlierThreshold)
+}
+
+// Experience computes the Fig 3/4/5 distribution samples for a metric.
+func (s *Study) Experience(m core.Metric) ([]core.GroupSample, error) {
+	return core.ExperienceDistributions(s.data, m)
+}
+
+// ScholarSources computes the §5.1 GS-vs-S2 correlation.
+func (s *Study) ScholarSources() (core.SourceCorrelation, error) {
+	return core.CompareScholarSources(s.data)
+}
+
+// Bands computes the Fig 6 experience-band stratification.
+func (s *Study) Bands() (core.BandAnalysis, error) {
+	return core.ExperienceBands(s.data)
+}
+
+// TopCountries computes Table 2 (limit 0 returns all countries).
+func (s *Study) TopCountries(limit int) []core.CountryRow {
+	return core.TopCountries(s.data, limit)
+}
+
+// CountriesWithMinAuthors computes Fig 7.
+func (s *Study) CountriesWithMinAuthors(min int) []core.CountryRow {
+	return core.CountriesWithMinAuthors(s.data, min)
+}
+
+// Regions computes Table 3.
+func (s *Study) Regions() []core.RegionRow { return core.RegionRoleTable(s.data) }
+
+// Concentration computes the §5.2 US / Western-Europe shares.
+func (s *Study) Concentration() core.GeographyConcentration {
+	return core.Concentration(s.data)
+}
+
+// Sectors computes the §5.3 / Fig 8 work-sector analysis.
+func (s *Study) Sectors() (core.SectorAnalysis, error) {
+	return core.SectorRepresentation(s.data)
+}
+
+// Sensitivity runs the Limitations-section unknown-gender forcing.
+func (s *Study) Sensitivity() (core.SensitivityResult, error) {
+	return core.SensitivityAnalysis(s.data, s.scID)
+}
+
+// Trend computes the §3.4 per-series FAR trajectory.
+func (s *Study) Trend() []core.SeriesPoint { return core.FlagshipTrend(s.data) }
+
+// TrendRegressions fits FAR-on-year slopes per series (the "no clear
+// trend" test behind §3.4).
+func (s *Study) TrendRegressions() ([]core.TrendRegression, error) {
+	return core.TrendRegressions(core.FlagshipTrend(s.data))
+}
+
+// Collaboration computes the future-work coauthorship-network analysis:
+// gender mixing, collaborator counts and team sizes.
+func (s *Study) Collaboration() (core.CollaborationAnalysis, error) {
+	return core.CollaborationPatterns(s.data)
+}
+
+// Multiplicity applies the Holm-Bonferroni correction across the paper's
+// family of significance tests (alpha 0 means 0.05).
+func (s *Study) Multiplicity(alpha float64) (core.MultiplicityAnalysis, error) {
+	return core.FamilyCorrection(s.data, s.scID, alpha)
+}
+
+// Subfields compares FAR across systems subfields (extended corpus).
+func (s *Study) Subfields() (core.SubfieldAnalysis, error) {
+	return core.SubfieldComparison(s.data)
+}
+
+// Trajectory computes mean citations by lead gender at intermediate
+// post-publication months (the paper's suggested follow-up analysis).
+func (s *Study) Trajectory(months ...float64) (core.ReceptionOverTime, error) {
+	return core.CitationTrajectory(s.data, 0, months...)
+}
+
+// DistributionGap runs the Kolmogorov-Smirnov comparison of a
+// bibliometric metric between women and men for a role.
+func (s *Study) DistributionGap(m core.Metric, role dataset.Role) (core.GenderGapKS, error) {
+	return core.DistributionGap(s.data, m, role)
+}
+
+// Profile assembles the one-stop per-conference summary.
+func (s *Study) Profile(id dataset.ConfID) (core.ConferenceProfile, error) {
+	return core.ProfileConference(s.data, id)
+}
+
+// Profiles assembles summaries for every conference in the corpus.
+func (s *Study) Profiles() ([]core.ConferenceProfile, error) {
+	return core.ProfileAll(s.data)
+}
+
+// Linkage quantifies the Google Scholar name-disambiguation problem over
+// the corpus (the mechanism behind the paper's 68.3% coverage).
+func (s *Study) Linkage() core.LinkageAnalysis { return core.GSLinkage(s.data) }
+
+// Policy contrasts venues with and without diversity initiatives.
+func (s *Study) Policy() (core.PolicyComparison, error) {
+	return core.DiversityPolicy(s.data)
+}
+
+// ReplicateDefault runs the headline analyses over n independently seeded
+// copies of the main 2017 corpus and summarizes the sampling distribution
+// of each statistic — how much future measurements could differ from the
+// paper's by noise alone.
+func ReplicateDefault(n int, baseSeed uint64) (core.ReplicationStudy, error) {
+	return core.Replicate(n, func(i int) (*dataset.Dataset, dataset.ConfID, error) {
+		corpus, err := synth.Generate(synth.Default2017(baseSeed + uint64(i)))
+		if err != nil {
+			return nil, "", err
+		}
+		return corpus.Data, findSC(corpus.Data), nil
+	})
+}
+
+// WriteReport renders the complete paper reproduction — every table and
+// figure — to w.
+func (s *Study) WriteReport(w io.Writer) error {
+	sections := []struct {
+		title string
+		fn    func(io.Writer) error
+	}{
+		{"Table 1 — Conferences", func(w io.Writer) error { return report.Table1(w, s.data) }},
+		{"Conference profiles", func(w io.Writer) error { return report.ConferenceProfiles(w, s.data) }},
+		{"§2 — Google Scholar linkage", func(w io.Writer) error { return report.Linkage(w, s.data) }},
+		{"Fig 1 — Representation of women across conference roles", func(w io.Writer) error { return report.Fig1(w, s.data) }},
+		{"§3.1 — Authors", func(w io.Writer) error { return report.Sec31(w, s.data) }},
+		{"§3.2 — Program committee", func(w io.Writer) error { return report.Sec32(w, s.data, s.scID) }},
+		{"§3.3 — Visible roles", func(w io.Writer) error { return report.Sec33(w, s.data) }},
+		{"§3.4 — Flagship time series", func(w io.Writer) error { return report.Sec34(w, s.data) }},
+		{"§4.1 — HPC-only topic subset", func(w io.Writer) error { return report.Sec41(w, s.data) }},
+		{"§4.2 / Fig 2 — Paper reception", func(w io.Writer) error { return report.Fig2(w, s.data) }},
+		{"Fig 3 — Past publications (Google Scholar)", func(w io.Writer) error {
+			return report.ExperienceFig(w, s.data, core.MetricGSPublications)
+		}},
+		{"Fig 4 — h-index", func(w io.Writer) error { return report.ExperienceFig(w, s.data, core.MetricHIndex) }},
+		{"Fig 5 — Past publications (Semantic Scholar)", func(w io.Writer) error {
+			return report.ExperienceFig(w, s.data, core.MetricS2Publications)
+		}},
+		{"Fig 6 — Experience bands", func(w io.Writer) error { return report.Fig6(w, s.data) }},
+		{"Table 2 — Top countries", func(w io.Writer) error { return report.Table2(w, s.data) }},
+		{"Fig 7 — Country representation", func(w io.Writer) error { return report.Fig7(w, s.data) }},
+		{"Table 3 — Regions by role", func(w io.Writer) error { return report.Table3(w, s.data) }},
+		{"Fig 8 — Sector representation", func(w io.Writer) error { return report.Fig8(w, s.data) }},
+		{"Sensitivity — unknown-gender forcing", func(w io.Writer) error { return report.Sensitivity(w, s.data, s.scID) }},
+		{"Extension — collaboration patterns by gender", func(w io.Writer) error { return report.Collaboration(w, s.data) }},
+		{"Extension — multiplicity correction (Holm)", func(w io.Writer) error { return report.Multiplicity(w, s.data, s.scID) }},
+		{"Extension — FAR trend regressions", func(w io.Writer) error { return report.TrendRegressionsSection(w, s.data) }},
+		{"Extension — diversity-policy contrast", func(w io.Writer) error { return report.Policy(w, s.data) }},
+		{"Extension — reception over time", func(w io.Writer) error { return report.Trajectory(w, s.data) }},
+		{"Extension — distribution gaps (Kolmogorov-Smirnov)", func(w io.Writer) error { return report.DistributionGaps(w, s.data) }},
+		{"Extension — FAR by systems subfield", func(w io.Writer) error { return report.Subfields(w, s.data) }},
+	}
+	for _, sec := range sections {
+		if _, err := fmt.Fprintf(w, "\n========== %s ==========\n", sec.title); err != nil {
+			return err
+		}
+		err := sec.fn(w)
+		if errors.Is(err, core.ErrNotApplicable) {
+			// Corpora differ in scope (the flagship series has no
+			// single-blind venue, a custom corpus may carry no topic
+			// tags); note the gap and keep reporting.
+			if _, werr := fmt.Fprintf(w, "(not applicable to this corpus: %v)\n", err); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("repro: rendering %q: %w", sec.title, err)
+		}
+	}
+	return nil
+}
