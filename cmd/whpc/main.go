@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	whpc [-seed N] [-load DIR] [-save DIR] [-flagship]
+//	whpc [-seed N] [-load DIR] [-save DIR] [-flagship] [-fault-profile NAME]
 //
 // With -flagship the §3.4 SC/ISC 2016-2020 corpus is used instead of the
 // main nine-conference 2017 corpus. -save writes the corpus CSVs before
 // reporting; -load analyzes a previously saved corpus instead of
-// generating one.
+// generating one. -fault-profile harvests the bibliometric services
+// through a named fault-injection profile (clean, flaky, degraded,
+// outage) and appends the resilient-ingestion and degraded-coverage
+// sections to the report; it cannot be combined with -load (a saved
+// corpus carries no live services to harvest).
 package main
 
 import (
@@ -17,9 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
+	"repro/internal/faulty"
 	"repro/internal/report"
+	"repro/internal/synth"
 )
 
 func main() {
@@ -29,20 +36,33 @@ func main() {
 	csvOut := flag.String("csv", "", "also export the exhibits as CSV files into this directory")
 	flagship := flag.Bool("flagship", false, "use the SC/ISC 2016-2020 flagship corpus (§3.4)")
 	extended := flag.Bool("extended", false, "use the extended all-systems-subfields corpus (future work)")
+	faultProfile := flag.String("fault-profile", "",
+		"harvest the bibliometric services under a fault profile ("+strings.Join(faulty.ProfileNames(), ", ")+")")
 	flag.Parse()
 
-	if err := run(*seed, *load, *save, *csvOut, *flagship, *extended); err != nil {
+	if err := run(*seed, *load, *save, *csvOut, *flagship, *extended, *faultProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "whpc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, load, save, csvOut string, flagship, extended bool) error {
+func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultProfile string) error {
 	var study *repro.Study
 	var err error
 	switch {
 	case load != "":
+		if faultProfile != "" {
+			return fmt.Errorf("-fault-profile requires a generated corpus, not -load")
+		}
 		study, err = repro.Load(load)
+	case faultProfile != "":
+		cfg := synth.Default2017(seed)
+		if flagship {
+			cfg = synth.FlagshipSeries(seed)
+		} else if extended {
+			cfg = synth.ExtendedSystems(seed)
+		}
+		study, err = repro.NewHarvestedStudyFromConfig(cfg, faultProfile)
 	case flagship:
 		study, err = repro.NewFlagshipStudy(seed)
 	case extended:

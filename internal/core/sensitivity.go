@@ -74,6 +74,115 @@ func SensitivityAnalysis(d *dataset.Dataset, scID dataset.ConfID) (SensitivityRe
 	return res, nil
 }
 
+// CoverageSensitivity is the degraded-coverage analog of the paper's
+// unknown-gender forcing: when the harvest links fewer researchers than
+// the pristine corpus (service faults, breaker sheds, abandoned lookups),
+// the GS-backed exhibits run on partial data. This analysis recomputes the
+// headline FAR and the directional observations on the degraded corpus and
+// checks them against the pristine baseline, annotating which exhibits ran
+// on partial data.
+type CoverageSensitivity struct {
+	// BaselineCoverage / AchievedCoverage are the GS linkage rates of the
+	// pristine and harvested corpora (the paper achieved 0.683).
+	BaselineCoverage float64
+	AchievedCoverage float64
+	// BaselineS2 / AchievedS2 are the S2 coverage rates (paper: 1.0).
+	BaselineS2 float64
+	AchievedS2 float64
+
+	// BaselineFAR / DegradedFAR are the headline female author ratios.
+	BaselineFAR float64
+	DegradedFAR float64
+
+	// Baseline / Degraded are the paper's directional observations
+	// evaluated on each corpus.
+	Baseline []Observation
+	Degraded []Observation
+	// Stable reports whether every observation kept direction and
+	// significance despite the coverage loss.
+	Stable bool
+	// Flips lists the observations that changed, if any.
+	Flips []string
+
+	// PartialExhibits names the paper exhibits that consumed degraded
+	// data (empty when coverage is intact).
+	PartialExhibits []string
+}
+
+// CoverageSensitivityAnalysis contrasts the analyses on a pristine corpus
+// against the same analyses on its harvested (possibly degraded) copy.
+func CoverageSensitivityAnalysis(baseline, degraded *dataset.Dataset, scID dataset.ConfID) (CoverageSensitivity, error) {
+	var res CoverageSensitivity
+	res.BaselineCoverage = gsCoverage(baseline)
+	res.AchievedCoverage = gsCoverage(degraded)
+	res.BaselineS2 = s2Coverage(baseline)
+	res.AchievedS2 = s2Coverage(degraded)
+	res.BaselineFAR = AuthorFAR(baseline).Overall.Ratio()
+	res.DegradedFAR = AuthorFAR(degraded).Overall.Ratio()
+
+	base, err := keyObservations(baseline, scID)
+	if err != nil {
+		return res, fmt.Errorf("core: baseline observations: %w", err)
+	}
+	res.Baseline = base
+	deg, err := keyObservations(degraded, scID)
+	if err != nil {
+		return res, fmt.Errorf("core: degraded observations: %w", err)
+	}
+	res.Degraded = deg
+
+	res.Stable = true
+	for i := range base {
+		if sign(deg[i].Effect) != sign(base[i].Effect) || deg[i].Significant != base[i].Significant {
+			res.Stable = false
+			res.Flips = append(res.Flips, base[i].Name)
+		}
+	}
+	if res.AchievedCoverage < res.BaselineCoverage {
+		res.PartialExhibits = append(res.PartialExhibits,
+			"Fig 3 — past publications (Google Scholar)",
+			"Fig 4 — h-index",
+			"Fig 6 — experience bands",
+			"§5.1 — GS vs S2 source correlation",
+		)
+	}
+	if res.AchievedS2 < res.BaselineS2 {
+		res.PartialExhibits = append(res.PartialExhibits,
+			"Fig 5 — past publications (Semantic Scholar)")
+	}
+	return res, nil
+}
+
+// gsCoverage is the fraction of researchers carrying a GS profile.
+func gsCoverage(d *dataset.Dataset) float64 {
+	total, linked := 0, 0
+	for _, p := range d.Persons {
+		total++
+		if p.HasGSProfile {
+			linked++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(linked) / float64(total)
+}
+
+// s2Coverage is the fraction of researchers carrying an S2 record.
+func s2Coverage(d *dataset.Dataset) float64 {
+	total, covered := 0, 0
+	for _, p := range d.Persons {
+		total++
+		if p.HasS2 {
+			covered++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
 func sign(x float64) int {
 	switch {
 	case x > 0:

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -185,11 +186,12 @@ func readFile(path string, fn func(io.Reader) error) error {
 func (d *Dataset) ReadPersonsCSV(r io.Reader) error { return d.readPersonsCSV(r) }
 
 func (d *Dataset) readPersonsCSV(r io.Reader) error {
-	rows, err := readAll(r, personHeader)
+	rows, lines, err := readAll(r, personHeader)
 	if err != nil {
 		return err
 	}
 	for i, row := range rows {
+		line := lines[i]
 		p := &Person{
 			ID:           PersonID(row[0]),
 			Name:         row[1],
@@ -205,30 +207,30 @@ func (d *Dataset) readPersonsCSV(r io.Reader) error {
 		var perr error
 		p.HasGSProfile, perr = strconv.ParseBool(row[10])
 		if perr != nil {
-			return rowErr(i, "has_gs", perr)
+			return rowErr(line, "has_gs", perr)
 		}
 		gs := scholar.Profile{}
 		if gs.Publications, perr = strconv.Atoi(row[11]); perr != nil {
-			return rowErr(i, "gs_pubs", perr)
+			return rowErr(line, "gs_pubs", perr)
 		}
 		if gs.HIndex, perr = strconv.Atoi(row[12]); perr != nil {
-			return rowErr(i, "gs_hindex", perr)
+			return rowErr(line, "gs_hindex", perr)
 		}
 		if gs.I10Index, perr = strconv.Atoi(row[13]); perr != nil {
-			return rowErr(i, "gs_i10", perr)
+			return rowErr(line, "gs_i10", perr)
 		}
 		if gs.Citations, perr = strconv.Atoi(row[14]); perr != nil {
-			return rowErr(i, "gs_citations", perr)
+			return rowErr(line, "gs_citations", perr)
 		}
 		p.GS = gs
 		if p.HasS2, perr = strconv.ParseBool(row[15]); perr != nil {
-			return rowErr(i, "has_s2", perr)
+			return rowErr(line, "has_s2", perr)
 		}
 		if p.S2Pubs, perr = strconv.Atoi(row[16]); perr != nil {
-			return rowErr(i, "s2_pubs", perr)
+			return rowErr(line, "s2_pubs", perr)
 		}
 		if err := d.AddPerson(p); err != nil {
-			return err
+			return fmt.Errorf("line %d: %w", line, err)
 		}
 	}
 	return nil
@@ -238,11 +240,12 @@ func (d *Dataset) readPersonsCSV(r io.Reader) error {
 func (d *Dataset) ReadConferencesCSV(r io.Reader) error { return d.readConferencesCSV(r) }
 
 func (d *Dataset) readConferencesCSV(r io.Reader) error {
-	rows, err := readAll(r, conferenceHeader)
+	rows, lines, err := readAll(r, conferenceHeader)
 	if err != nil {
 		return err
 	}
 	for i, row := range rows {
+		line := lines[i]
 		c := &Conference{
 			ID:          ConfID(row[0]),
 			Name:        row[1],
@@ -250,25 +253,25 @@ func (d *Dataset) readConferencesCSV(r io.Reader) error {
 		}
 		var perr error
 		if c.Year, perr = strconv.Atoi(row[2]); perr != nil {
-			return rowErr(i, "year", perr)
+			return rowErr(line, "year", perr)
 		}
 		if c.Date, perr = time.Parse(dateLayout, row[3]); perr != nil {
-			return rowErr(i, "date", perr)
+			return rowErr(line, "date", perr)
 		}
 		if c.Submitted, perr = strconv.Atoi(row[5]); perr != nil {
-			return rowErr(i, "submitted", perr)
+			return rowErr(line, "submitted", perr)
 		}
 		if c.AcceptanceRate, perr = strconv.ParseFloat(row[6], 64); perr != nil {
-			return rowErr(i, "acceptance_rate", perr)
+			return rowErr(line, "acceptance_rate", perr)
 		}
 		bools := []*bool{&c.DoubleBlind, &c.DiversityChair, &c.CodeOfConduct, &c.Childcare}
 		for j, dst := range bools {
 			if *dst, perr = strconv.ParseBool(row[7+j]); perr != nil {
-				return rowErr(i, conferenceHeader[7+j], perr)
+				return rowErr(line, conferenceHeader[7+j], perr)
 			}
 		}
 		if c.WomenAttendance, perr = strconv.ParseFloat(row[11], 64); perr != nil {
-			return rowErr(i, "women_attendance", perr)
+			return rowErr(line, "women_attendance", perr)
 		}
 		c.Subfield = row[12]
 		c.PCChairs = splitIDs(row[13])
@@ -277,7 +280,7 @@ func (d *Dataset) readConferencesCSV(r io.Reader) error {
 		c.Panelists = splitIDs(row[16])
 		c.SessionChairs = splitIDs(row[17])
 		if err := d.AddConference(c); err != nil {
-			return err
+			return fmt.Errorf("line %d: %w", line, err)
 		}
 	}
 	return nil
@@ -287,11 +290,12 @@ func (d *Dataset) readConferencesCSV(r io.Reader) error {
 func (d *Dataset) ReadPapersCSV(r io.Reader) error { return d.readPapersCSV(r) }
 
 func (d *Dataset) readPapersCSV(r io.Reader) error {
-	rows, err := readAll(r, paperHeader)
+	rows, lines, err := readAll(r, paperHeader)
 	if err != nil {
 		return err
 	}
 	for i, row := range rows {
+		line := lines[i]
 		p := &Paper{
 			ID:      PaperID(row[0]),
 			Conf:    ConfID(row[1]),
@@ -300,38 +304,67 @@ func (d *Dataset) readPapersCSV(r io.Reader) error {
 		}
 		var perr error
 		if p.HPCTopic, perr = strconv.ParseBool(row[4]); perr != nil {
-			return rowErr(i, "hpc_topic", perr)
+			return rowErr(line, "hpc_topic", perr)
 		}
 		if p.Citations36, perr = strconv.Atoi(row[5]); perr != nil {
-			return rowErr(i, "citations36", perr)
+			return rowErr(line, "citations36", perr)
 		}
 		if err := d.AddPaper(p); err != nil {
-			return err
+			return fmt.Errorf("line %d: %w", line, err)
 		}
 	}
 	return nil
 }
 
-func readAll(r io.Reader, wantHeader []string) ([][]string, error) {
+// readAll parses a whole CSV table, checking the header and field counts.
+// It returns the data rows plus the 1-based input line each row started
+// on, so value-parse errors can name the exact offending line. Truncated
+// or overlong rows are reported with their line instead of surfacing the
+// first bare csv.ParseError.
+func readAll(r io.Reader, wantHeader []string) ([][]string, []int, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(wantHeader)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
+	cr.FieldsPerRecord = -1 // row arity is checked by hand for better errors
+	var rows [][]string
+	var lines []int
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				return nil, nil, fmt.Errorf("line %d: malformed CSV: %w", pe.Line, pe.Err)
+			}
+			return nil, nil, fmt.Errorf("malformed CSV: %w", err)
+		}
+		line, _ := cr.FieldPos(0)
+		if len(row) != len(wantHeader) {
+			kind := "truncated"
+			if len(row) > len(wantHeader) {
+				kind = "overlong"
+			}
+			return nil, nil, fmt.Errorf("line %d: %s row: got %d fields, want %d",
+				line, kind, len(row), len(wantHeader))
+		}
+		rows = append(rows, row)
+		lines = append(lines, line)
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: empty CSV, want header %v", wantHeader)
+		return nil, nil, fmt.Errorf("empty CSV, want header %v", wantHeader)
 	}
 	for i, col := range wantHeader {
 		if rows[0][i] != col {
-			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, rows[0][i], col)
+			return nil, nil, fmt.Errorf("header column %d is %q, want %q", i, rows[0][i], col)
 		}
 	}
-	return rows[1:], nil
+	return rows[1:], lines[1:], nil
 }
 
-func rowErr(row int, field string, err error) error {
-	return fmt.Errorf("dataset: row %d field %s: %w", row+1, field, err)
+// rowErr identifies a bad value by its input line and column name; the
+// enclosing readFile wrapper adds the file name.
+func rowErr(line int, field string, err error) error {
+	return fmt.Errorf("line %d: field %s: %w", line, field, err)
 }
 
 func parseMethod(s string) gender.Method {

@@ -1,0 +1,83 @@
+// Package faulty wraps the simulated bibliometric services in
+// fault-injection decorators. The paper's harvest ran against unreliable
+// remote sources — manual Google Scholar linkage succeeded for only 68.3%
+// of researchers, and both services rate-limit and time out in practice —
+// while our in-memory substrates are perfectly reliable. This package
+// restores the hostile environment: a seeded Injector draws transient
+// errors, latency spikes, simulated timeouts, 429-style rate limits, and
+// permanent not-founds from a named FaultProfile, deterministically per
+// (seed, researcher, attempt), so an ingestion run is reproducible
+// bit-for-bit yet exercises every failure path the resilience stack has.
+package faulty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/scholar"
+)
+
+// ProfileSource is the common lookup interface both bibliometric services
+// are served through. Implementations return the researcher's profile
+// (pubs-only for Semantic Scholar) or an error; an authoritative miss is
+// ErrNotFound wrapped resilience.Permanent.
+type ProfileSource interface {
+	Lookup(ctx context.Context, id string) (scholar.Profile, error)
+}
+
+// Sentinel errors for the injected fault kinds. ErrNotFound doubles as the
+// authoritative-miss error of the underlying sources.
+var (
+	ErrNotFound  = errors.New("profile not found")
+	ErrTransient = errors.New("transient service error")
+	ErrTimeout   = errors.New("request timed out")
+	ErrOutage    = errors.New("service outage")
+)
+
+// RateLimitError is the 429-style response: retry no sooner than After.
+type RateLimitError struct{ After time.Duration }
+
+// Error renders the fault.
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("rate limited, retry after %s", e.After)
+}
+
+// RetryAfterHint implements resilience.RetryAfterHinter.
+func (e *RateLimitError) RetryAfterHint() time.Duration { return e.After }
+
+// GSSource adapts a *scholar.Directory to ProfileSource. A directory miss
+// is the paper's "could not be unambiguously linked" outcome: permanent,
+// not retryable.
+type GSSource struct{ Dir *scholar.Directory }
+
+// Lookup returns the Google Scholar profile for id.
+func (g GSSource) Lookup(ctx context.Context, id string) (scholar.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return scholar.Profile{}, err
+	}
+	p, ok := g.Dir.Lookup(id)
+	if !ok {
+		return scholar.Profile{}, resilience.Permanent(fmt.Errorf("faulty: gs %q: %w", id, ErrNotFound))
+	}
+	return p, nil
+}
+
+// S2Source adapts a *scholar.SemanticScholar to ProfileSource; the result
+// profile carries only the past-publication count, mirroring what the
+// paper could read from S2.
+type S2Source struct{ S2 *scholar.SemanticScholar }
+
+// Lookup returns a pubs-only profile for id.
+func (s S2Source) Lookup(ctx context.Context, id string) (scholar.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return scholar.Profile{}, err
+	}
+	n, ok := s.S2.PastPublications(id)
+	if !ok {
+		return scholar.Profile{}, resilience.Permanent(fmt.Errorf("faulty: s2 %q: %w", id, ErrNotFound))
+	}
+	return scholar.Profile{Publications: n}, nil
+}

@@ -1,0 +1,202 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/scholar"
+)
+
+func testDirectory(t *testing.T, n int) *scholar.Directory {
+	t.Helper()
+	d := scholar.NewDirectory()
+	for i := 0; i < n; i++ {
+		if err := d.Register(fmt.Sprintf("p%03d", i), scholar.Profile{Publications: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded, want error")
+	}
+}
+
+func TestGSSourceNotFoundIsPermanent(t *testing.T) {
+	src := GSSource{Dir: testDirectory(t, 1)}
+	_, err := src.Lookup(context.Background(), "missing")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if !resilience.IsPermanent(err) {
+		t.Fatal("authoritative miss must be permanent (not retryable)")
+	}
+}
+
+// TestInjectorDeterministicPerID: the fault sequence one researcher sees
+// is a pure function of (seed, id, attempt ordinal) — two injectors with
+// the same seed agree call for call, regardless of interleaving.
+func TestInjectorDeterministicPerID(t *testing.T) {
+	dir := testDirectory(t, 50)
+	spec := FaultSpec{PVanish: 0.1, PRateLimit: 0.2, PTimeout: 0.2, PTransient: 0.2}
+	ctx := context.Background()
+	clock := resilience.NewVirtualClock(time.Unix(0, 0))
+
+	outcome := func(inj *Injector, id string) string {
+		_, err := inj.Lookup(ctx, id)
+		if err == nil {
+			return "ok"
+		}
+		var rl *RateLimitError
+		switch {
+		case errors.As(err, &rl):
+			return "ratelimit"
+		case errors.Is(err, ErrTimeout):
+			return "timeout"
+		case errors.Is(err, ErrTransient):
+			return "transient"
+		case errors.Is(err, ErrNotFound):
+			return "notfound"
+		default:
+			return "other"
+		}
+	}
+
+	a := NewInjector(GSSource{Dir: dir}, spec, 99, clock)
+	b := NewInjector(GSSource{Dir: dir}, spec, 99, clock)
+	// a sees ids in order; b sees them in reverse with extra interleaved
+	// calls — per-id sequences must still match.
+	ids := []string{"p000", "p001", "p002", "p003", "p004"}
+	got := map[string][]string{}
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			got[id] = append(got[id], outcome(a, id))
+		}
+	}
+	want := map[string][]string{}
+	for round := 0; round < 3; round++ {
+		for i := len(ids) - 1; i >= 0; i-- {
+			id := ids[i]
+			want[id] = append(want[id], outcome(b, id))
+		}
+	}
+	for _, id := range ids {
+		for r := range got[id] {
+			if got[id][r] != want[id][r] {
+				t.Errorf("id %s round %d: %s vs %s (call order changed the fault stream)",
+					id, r, got[id][r], want[id][r])
+			}
+		}
+	}
+}
+
+// TestInjectorVanishIsStable: a vanished researcher stays vanished across
+// retries (namesake clashes do not resolve themselves).
+func TestInjectorVanishIsStable(t *testing.T) {
+	dir := testDirectory(t, 200)
+	spec := FaultSpec{PVanish: 0.3}
+	inj := NewInjector(GSSource{Dir: dir}, spec, 5, resilience.NewVirtualClock(time.Unix(0, 0)))
+	ctx := context.Background()
+	vanished := 0
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("p%03d", i)
+		_, first := inj.Lookup(ctx, id)
+		for retry := 0; retry < 3; retry++ {
+			_, again := inj.Lookup(ctx, id)
+			if (first == nil) != (again == nil) {
+				t.Fatalf("id %s: vanish decision flipped between attempts", id)
+			}
+		}
+		if first != nil {
+			if !errors.Is(first, ErrNotFound) || !resilience.IsPermanent(first) {
+				t.Fatalf("id %s: vanish error = %v, want permanent ErrNotFound", id, first)
+			}
+			vanished++
+		}
+	}
+	if vanished < 30 || vanished > 90 {
+		t.Errorf("vanished %d of 200 at p=0.3, outside plausible range", vanished)
+	}
+}
+
+// TestInjectorOutageWindow: the first OutageCalls calls fail outright,
+// then the service recovers.
+func TestInjectorOutageWindow(t *testing.T) {
+	dir := testDirectory(t, 10)
+	inj := NewInjector(GSSource{Dir: dir}, FaultSpec{OutageCalls: 5}, 1,
+		resilience.NewVirtualClock(time.Unix(0, 0)))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := inj.Lookup(ctx, "p000"); !errors.Is(err, ErrOutage) {
+			t.Fatalf("call %d: err = %v, want ErrOutage", i, err)
+		}
+	}
+	if _, err := inj.Lookup(ctx, "p000"); err != nil {
+		t.Fatalf("post-outage call failed: %v", err)
+	}
+}
+
+// TestInjectorRateLimitHint: rate-limit faults carry the profile's
+// Retry-After hint for the retryer to honor.
+func TestInjectorRateLimitHint(t *testing.T) {
+	dir := testDirectory(t, 5)
+	spec := FaultSpec{PRateLimit: 1, RetryAfter: 42 * time.Millisecond}
+	inj := NewInjector(GSSource{Dir: dir}, spec, 3, resilience.NewVirtualClock(time.Unix(0, 0)))
+	_, err := inj.Lookup(context.Background(), "p000")
+	var hinter resilience.RetryAfterHinter
+	if !errors.As(err, &hinter) {
+		t.Fatalf("err = %v, want RetryAfterHinter", err)
+	}
+	if got := hinter.RetryAfterHint(); got != 42*time.Millisecond {
+		t.Errorf("hint = %s, want 42ms", got)
+	}
+}
+
+// TestInjectorLatencyAdvancesClock: injected latency elapses on the
+// virtual clock, not on wall time.
+func TestInjectorLatencyAdvancesClock(t *testing.T) {
+	dir := testDirectory(t, 5)
+	start := time.Unix(0, 0)
+	clock := resilience.NewVirtualClock(start)
+	inj := NewInjector(GSSource{Dir: dir}, FaultSpec{Latency: 7 * time.Millisecond}, 3, clock)
+	if _, err := inj.Lookup(context.Background(), "p000"); err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Elapsed(start); got != 7*time.Millisecond {
+		t.Errorf("virtual elapsed = %s, want 7ms", got)
+	}
+}
+
+// TestCleanProfileInjectsNothing: the clean profile passes every lookup
+// through untouched.
+func TestCleanProfileInjectsNothing(t *testing.T) {
+	dir := testDirectory(t, 100)
+	prof := Clean()
+	inj := NewInjector(GSSource{Dir: dir}, prof.GS, 7, resilience.NewVirtualClock(time.Unix(0, 0)))
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("p%03d", i)
+		p, err := inj.Lookup(ctx, id)
+		if err != nil {
+			t.Fatalf("clean lookup %s failed: %v", id, err)
+		}
+		if p.Publications != i+1 {
+			t.Fatalf("clean lookup %s returned wrong profile: %+v", id, p)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package faulty
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+
+	"repro/internal/resilience"
+	"repro/internal/scholar"
+)
+
+// Injector decorates a ProfileSource with seeded fault injection. Fault
+// draws are keyed by (seed, researcher id, per-id attempt ordinal), NOT by
+// global call order, so the injected failure sequence each researcher
+// experiences is identical no matter how a concurrent harvester interleaves
+// its workers. Only the outage window and latency accounting are
+// per-instance state; an Injector is therefore meant to be owned by a
+// single sequential worker (give each worker its own instance — they may
+// share the underlying source, which is read-only during a harvest).
+type Injector struct {
+	src   ProfileSource
+	spec  FaultSpec
+	seed  uint64
+	clock resilience.Clock
+
+	calls    int            // total calls, drives the outage window
+	attempts map[string]int // per-id attempt ordinal
+}
+
+// NewInjector wraps src with the fault spec. A nil clock uses WallClock
+// (latency then burns real time; harvest workers inject virtual clocks).
+func NewInjector(src ProfileSource, spec FaultSpec, seed uint64, clock resilience.Clock) *Injector {
+	if clock == nil {
+		clock = resilience.WallClock{}
+	}
+	return &Injector{src: src, spec: spec, seed: seed, clock: clock, attempts: make(map[string]int)}
+}
+
+// Calls returns how many lookups this injector has served.
+func (f *Injector) Calls() int { return f.calls }
+
+// rng derives the deterministic fault stream for one (id, ordinal) pair.
+func (f *Injector) rng(id string, ordinal int) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	fmt.Fprintf(h, "#%d", ordinal)
+	return rand.New(rand.NewPCG(f.seed, h.Sum64()))
+}
+
+// Lookup injects latency and faults in front of the wrapped source.
+func (f *Injector) Lookup(ctx context.Context, id string) (scholar.Profile, error) {
+	f.calls++
+	ordinal := f.attempts[id]
+	f.attempts[id] = ordinal + 1
+
+	if f.spec.Latency > 0 {
+		if err := f.clock.Sleep(ctx, f.spec.Latency); err != nil {
+			return scholar.Profile{}, err
+		}
+	}
+	if f.calls <= f.spec.OutageCalls {
+		return scholar.Profile{}, fmt.Errorf("faulty: %w", ErrOutage)
+	}
+	// Vanish is drawn once per researcher (ordinal 0) so the decision is
+	// stable across retries: a namesake clash does not resolve itself.
+	if f.spec.PVanish > 0 && f.rng(id, -1).Float64() < f.spec.PVanish {
+		return scholar.Profile{}, resilience.Permanent(fmt.Errorf("faulty: %q unlinkable: %w", id, ErrNotFound))
+	}
+	u := f.rng(id, ordinal).Float64()
+	switch {
+	case u < f.spec.PRateLimit:
+		return scholar.Profile{}, &RateLimitError{After: f.spec.RetryAfter}
+	case u < f.spec.PRateLimit+f.spec.PTimeout:
+		if f.spec.TimeoutLatency > 0 {
+			if err := f.clock.Sleep(ctx, f.spec.TimeoutLatency); err != nil {
+				return scholar.Profile{}, err
+			}
+		}
+		return scholar.Profile{}, fmt.Errorf("faulty: %w", ErrTimeout)
+	case u < f.spec.PRateLimit+f.spec.PTimeout+f.spec.PTransient:
+		return scholar.Profile{}, fmt.Errorf("faulty: %w", ErrTransient)
+	}
+	return f.src.Lookup(ctx, id)
+}

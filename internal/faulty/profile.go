@@ -1,0 +1,144 @@
+package faulty
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FaultSpec calibrates the failure behaviour injected in front of one
+// service. Probabilities are evaluated per attempt (vanish per researcher)
+// in a fixed order: vanish, rate limit, timeout, transient.
+type FaultSpec struct {
+	// PVanish is the probability that a researcher the upstream service
+	// does know is nevertheless unlinkable (a permanent not-found) — the
+	// ambiguous-namesake failure the paper hit. Drawn once per researcher.
+	PVanish float64
+	// PRateLimit is the per-attempt probability of a 429-style response
+	// carrying RetryAfter as its hint.
+	PRateLimit float64
+	// PTimeout is the per-attempt probability the call times out after
+	// TimeoutLatency of (virtual) waiting.
+	PTimeout float64
+	// PTransient is the per-attempt probability of a generic retryable
+	// service error.
+	PTransient float64
+
+	// RetryAfter is the hint attached to rate-limit faults.
+	RetryAfter time.Duration
+	// Latency is the fixed per-call service latency.
+	Latency time.Duration
+	// TimeoutLatency is the extra stall burned by a timing-out call.
+	TimeoutLatency time.Duration
+
+	// OutageCalls fails the first OutageCalls calls seen by an injector
+	// instance outright (service down), regardless of the probabilities
+	// above; afterwards the service recovers to its steady-state spec.
+	OutageCalls int
+}
+
+// FaultProfile names a pair of fault specs, one per bibliometric service.
+type FaultProfile struct {
+	Name string
+	GS   FaultSpec
+	S2   FaultSpec
+}
+
+// Named profiles, ordered from benign to hostile.
+const (
+	ProfileClean    = "clean"
+	ProfileFlaky    = "flaky"
+	ProfileDegraded = "degraded"
+	ProfileOutage   = "outage"
+)
+
+// Clean injects nothing: the harvest sees the substrates exactly as the
+// rest of the pipeline does, so a clean harvest reproduces the corpus.
+func Clean() FaultProfile { return FaultProfile{Name: ProfileClean} }
+
+// Flaky models everyday service weather: occasional transient errors,
+// timeouts and rate limits on both services, plus a small share of
+// researchers whose GS profile cannot be disambiguated. Retries recover
+// nearly all of it.
+func Flaky() FaultProfile {
+	return FaultProfile{
+		Name: ProfileFlaky,
+		GS: FaultSpec{
+			PVanish: 0.04, PRateLimit: 0.08, PTimeout: 0.05, PTransient: 0.12,
+			RetryAfter: 20 * time.Millisecond, Latency: time.Millisecond,
+			TimeoutLatency: 10 * time.Millisecond,
+		},
+		S2: FaultSpec{
+			PRateLimit: 0.04, PTimeout: 0.03, PTransient: 0.06,
+			RetryAfter: 10 * time.Millisecond, Latency: time.Millisecond,
+			TimeoutLatency: 5 * time.Millisecond,
+		},
+	}
+}
+
+// Degraded models a Google Scholar bad day: heavy error and rate-limit
+// pressure plus widespread disambiguation failures, forcing a visible
+// share of researchers onto the S2 fallback and the analyses onto
+// partial data.
+func Degraded() FaultProfile {
+	return FaultProfile{
+		Name: ProfileDegraded,
+		GS: FaultSpec{
+			PVanish: 0.20, PRateLimit: 0.20, PTimeout: 0.12, PTransient: 0.25,
+			RetryAfter: 30 * time.Millisecond, Latency: 2 * time.Millisecond,
+			TimeoutLatency: 15 * time.Millisecond,
+		},
+		S2: FaultSpec{
+			PRateLimit: 0.06, PTimeout: 0.05, PTransient: 0.10,
+			RetryAfter: 15 * time.Millisecond, Latency: time.Millisecond,
+			TimeoutLatency: 8 * time.Millisecond,
+		},
+	}
+}
+
+// Outage takes Google Scholar down hard for the first OutageCalls calls
+// each worker makes, tripping the circuit breaker and shedding onto the
+// S2 fallback, then lets the service recover so the breaker's half-open
+// probes eventually close it again.
+func Outage() FaultProfile {
+	return FaultProfile{
+		Name: ProfileOutage,
+		GS: FaultSpec{
+			OutageCalls: 12,
+			PTransient:  0.02,
+			Latency:     time.Millisecond,
+		},
+		S2: FaultSpec{
+			PTransient: 0.02, Latency: 2 * time.Millisecond,
+		},
+	}
+}
+
+// Profiles returns the named profiles keyed by name.
+func Profiles() map[string]FaultProfile {
+	return map[string]FaultProfile{
+		ProfileClean:    Clean(),
+		ProfileFlaky:    Flaky(),
+		ProfileDegraded: Degraded(),
+		ProfileOutage:   Outage(),
+	}
+}
+
+// ProfileNames lists the known profile names, sorted benign-first.
+func ProfileNames() []string {
+	names := make([]string, 0, 4)
+	for n := range Profiles() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a named profile.
+func ByName(name string) (FaultProfile, error) {
+	p, ok := Profiles()[name]
+	if !ok {
+		return FaultProfile{}, fmt.Errorf("faulty: unknown fault profile %q (have %v)", name, ProfileNames())
+	}
+	return p, nil
+}

@@ -1,0 +1,220 @@
+package ingest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/faulty"
+	"repro/internal/synth"
+)
+
+// harvest generates the main 2017 corpus and harvests it under the given
+// profile, returning corpus, report and the applied (degraded) dataset.
+func harvest(t *testing.T, seed uint64, prof faulty.FaultProfile, workers int) (*synth.Corpus, *HarvestReport) {
+	t.Helper()
+	corpus, err := synth.Generate(synth.Default2017(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(corpus.GS, corpus.S2, Config{Seed: seed, Profile: prof, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(corpus.Data.Persons))
+	for id := range corpus.Data.Persons {
+		ids = append(ids, string(id))
+	}
+	rep, err := h.Run(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus, rep
+}
+
+// TestCleanHarvestReproducesCorpus: under the clean profile the harvested
+// dataset is indistinguishable from the generated one — person for person.
+func TestCleanHarvestReproducesCorpus(t *testing.T) {
+	corpus, rep := harvest(t, 11, faulty.Clean(), 4)
+	if rep.Abandoned != 0 || rep.FallbackS2 != 0 {
+		t.Fatalf("clean harvest degraded: %s", rep)
+	}
+	if rep.Total != len(corpus.Data.Persons) {
+		t.Fatalf("harvested %d of %d researchers", rep.Total, len(corpus.Data.Persons))
+	}
+	applied := Apply(corpus.Data, rep)
+	for id, orig := range corpus.Data.Persons {
+		got, ok := applied.Persons[id]
+		if !ok {
+			t.Fatalf("person %s missing after Apply", id)
+		}
+		if !reflect.DeepEqual(*orig, *got) {
+			t.Fatalf("person %s changed under clean harvest:\norig %+v\ngot  %+v", id, *orig, *got)
+		}
+	}
+	if err := applied.Validate(); err != nil {
+		t.Fatalf("applied dataset invalid: %v", err)
+	}
+}
+
+// TestHarvestDeterministicPerSeed: same seed + profile + worker count =>
+// byte-identical reports, including every per-researcher outcome.
+func TestHarvestDeterministicPerSeed(t *testing.T) {
+	for _, prof := range []faulty.FaultProfile{faulty.Flaky(), faulty.Degraded(), faulty.Outage()} {
+		t.Run(prof.Name, func(t *testing.T) {
+			_, a := harvest(t, 2021, prof, 4)
+			_, b := harvest(t, 2021, prof, 4)
+			if a.String() != b.String() {
+				t.Errorf("report rendering diverged:\n%s\nvs\n%s", a, b)
+			}
+			if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+				t.Error("per-researcher outcomes diverged between identical runs")
+			}
+		})
+	}
+}
+
+// TestHarvestSeedSensitivity: a different seed yields a different fault
+// history (sanity check that determinism is not degeneracy).
+func TestHarvestSeedSensitivity(t *testing.T) {
+	_, a := harvest(t, 1, faulty.Flaky(), 4)
+	_, b := harvest(t, 2, faulty.Flaky(), 4)
+	if reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+		t.Error("different seeds produced identical outcome maps")
+	}
+}
+
+// TestFlakyHarvestMeetsLinkageFloor: the flaky profile must keep effective
+// linkage (GS linked, S2 fallback, or S2-only) at or above 95%, while
+// still visibly degrading GS coverage below the corpus's native rate.
+func TestFlakyHarvestMeetsLinkageFloor(t *testing.T) {
+	corpus, rep := harvest(t, 2021, faulty.Flaky(), 4)
+	if got := rep.EffectiveLinkage(); got < 0.95 {
+		t.Errorf("effective linkage %.4f < 0.95\n%s", got, rep)
+	}
+	native := 0
+	for _, p := range corpus.Data.Persons {
+		if p.HasGSProfile {
+			native++
+		}
+	}
+	nativeCov := float64(native) / float64(len(corpus.Data.Persons))
+	if got := rep.GSCoverage(); got >= nativeCov {
+		t.Errorf("flaky GS coverage %.4f not degraded below native %.4f", got, nativeCov)
+	}
+	if rep.Retries == 0 || rep.RateLimited == 0 || rep.Timeouts == 0 || rep.Transients == 0 {
+		t.Errorf("flaky harvest exercised no faults: %s", rep)
+	}
+}
+
+// TestOutageHarvestTripsAndRecovers: under the outage profile the GS
+// breaker must open (shedding onto the S2 fallback) and later recover via
+// half-open probes, after which researchers link to GS again.
+func TestOutageHarvestTripsAndRecovers(t *testing.T) {
+	_, rep := harvest(t, 2021, faulty.Outage(), 4)
+	if rep.BreakerTrips == 0 {
+		t.Fatalf("outage never tripped the breaker: %s", rep)
+	}
+	if rep.BreakerRecoveries == 0 {
+		t.Fatalf("breaker never recovered: %s", rep)
+	}
+	if rep.Shed == 0 {
+		t.Errorf("open breaker shed no calls: %s", rep)
+	}
+	if rep.FallbackS2 == 0 {
+		t.Errorf("no researcher degraded to the S2 fallback during the outage: %s", rep)
+	}
+	if rep.LinkedGS == 0 {
+		t.Errorf("no researcher linked to GS after recovery: %s", rep)
+	}
+	if got := rep.EffectiveLinkage(); got < 0.95 {
+		t.Errorf("outage effective linkage %.4f < 0.95 (S2 fallback should carry it)", got)
+	}
+}
+
+// TestApplyDegradedSemantics: Apply strips exactly the data the harvest
+// failed to obtain.
+func TestApplyDegradedSemantics(t *testing.T) {
+	corpus, rep := harvest(t, 2021, faulty.Degraded(), 4)
+	applied := Apply(corpus.Data, rep)
+	for id, res := range rep.Outcomes {
+		p := applied.Persons[dataset.PersonID(id)]
+		if p == nil {
+			t.Fatalf("person %s missing", id)
+		}
+		switch res.Outcome {
+		case OutcomeLinkedGS:
+			if !p.HasGSProfile {
+				t.Fatalf("%s linked but HasGSProfile false", id)
+			}
+		case OutcomeFallbackS2, OutcomeS2Only:
+			if p.HasGSProfile {
+				t.Fatalf("%s outcome %s but kept a GS profile", id, res.Outcome)
+			}
+			if !p.HasS2 {
+				t.Fatalf("%s outcome %s but no S2 record", id, res.Outcome)
+			}
+		case OutcomeAbandoned:
+			if p.HasGSProfile || p.HasS2 {
+				t.Fatalf("%s abandoned but kept bibliometric data", id)
+			}
+		}
+	}
+	if err := applied.Validate(); err != nil {
+		t.Fatalf("applied dataset invalid: %v", err)
+	}
+}
+
+// TestHarvestEmptyAndDuplicateIDs: edge inputs.
+func TestHarvestEmptyAndDuplicateIDs(t *testing.T) {
+	corpus, err := synth.Generate(synth.Default2017(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(corpus.GS, corpus.S2, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 0 {
+		t.Errorf("empty harvest Total = %d", rep.Total)
+	}
+	ids := corpus.GS.IDs()[:3]
+	dup := append(append([]string{}, ids...), ids...)
+	rep, err = h.Run(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 3 {
+		t.Errorf("duplicate ids harvested %d times, want 3 unique", rep.Total)
+	}
+}
+
+// TestHarvestCancelledContext: cancellation aborts the run with an error.
+func TestHarvestCancelledContext(t *testing.T) {
+	corpus, err := synth.Generate(synth.Default2017(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(corpus.GS, corpus.S2, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.Run(ctx, corpus.GS.IDs()); err == nil {
+		t.Error("cancelled harvest returned nil error")
+	}
+}
+
+func TestDedupeSorted(t *testing.T) {
+	got := dedupeSorted([]string{"b", "a", "b", "c", "a"})
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dedupeSorted = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ingest"
+)
+
+// Harvest renders the resilient-ingestion report: per-outcome counts, the
+// fault and retry totals, and the breaker history of the run.
+func Harvest(w io.Writer, rep *ingest.HarvestReport) error {
+	if rep == nil {
+		return fmt.Errorf("report: nil harvest report")
+	}
+	fmt.Fprintf(w, "Fault profile %q, seed %d, %d workers, virtual elapsed %s\n",
+		rep.Profile, rep.Seed, rep.Workers, rep.VirtualElapsed)
+	t := NewTable("Outcome", "Researchers", "Share").AlignRight(1, 2)
+	pct := func(n int) string {
+		if rep.Total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f%%", 100*float64(n)/float64(rep.Total))
+	}
+	t.MustAddRow("linked (Google Scholar)", fmt.Sprint(rep.LinkedGS), pct(rep.LinkedGS))
+	t.MustAddRow("degraded to S2 fallback", fmt.Sprint(rep.FallbackS2), pct(rep.FallbackS2))
+	t.MustAddRow("S2 only (no GS profile)", fmt.Sprint(rep.S2Only), pct(rep.S2Only))
+	t.MustAddRow("abandoned", fmt.Sprint(rep.Abandoned), pct(rep.Abandoned))
+	t.MustAddRow("total", fmt.Sprint(rep.Total), pct(rep.Total))
+	if err := t.RenderTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Effective linkage %.2f%% (GS coverage %.2f%%; paper: 68.3%% GS, 100%% S2)\n",
+		100*rep.EffectiveLinkage(), 100*rep.GSCoverage())
+	fmt.Fprintf(w, "Faults absorbed: %d retries, %d transient, %d timeout, %d rate-limited, %d not-found\n",
+		rep.Retries, rep.Transients, rep.Timeouts, rep.RateLimited, rep.NotFound)
+	fmt.Fprintf(w, "Circuit breaker: %d trips, %d recoveries, %d calls shed\n",
+		rep.BreakerTrips, rep.BreakerRecoveries, rep.Shed)
+	return nil
+}
+
+// CoverageSensitivity renders the degraded-coverage sensitivity analysis:
+// the paper's directional observations on pristine vs harvested data, and
+// the exhibits that ran on partial data.
+func CoverageSensitivity(w io.Writer, baseline, degraded *dataset.Dataset, scID dataset.ConfID) error {
+	cs, err := core.CoverageSensitivityAnalysis(baseline, degraded, scID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "GS coverage: baseline %.2f%% -> achieved %.2f%%; S2 coverage: %.2f%% -> %.2f%%\n",
+		100*cs.BaselineCoverage, 100*cs.AchievedCoverage, 100*cs.BaselineS2, 100*cs.AchievedS2)
+	fmt.Fprintf(w, "Headline FAR: baseline %.4f -> degraded %.4f\n", cs.BaselineFAR, cs.DegradedFAR)
+	t := NewTable("Observation", "Baseline", "Degraded").AlignRight(1, 2)
+	cell := func(o core.Observation) string {
+		sig := ""
+		if o.Significant {
+			sig = "*"
+		}
+		return fmt.Sprintf("%+.4f (p=%.3g)%s", o.Effect, o.P, sig)
+	}
+	for i, obs := range cs.Baseline {
+		if err := t.AddRow(obs.Name, cell(obs), cell(cs.Degraded[i])); err != nil {
+			return err
+		}
+	}
+	if err := t.RenderTo(w); err != nil {
+		return err
+	}
+	if cs.Stable {
+		fmt.Fprintln(w, "No observation changed direction or significance under the achieved coverage.")
+	} else {
+		fmt.Fprintf(w, "Observations that flipped under degraded coverage: %v\n", cs.Flips)
+	}
+	if len(cs.PartialExhibits) == 0 {
+		fmt.Fprintln(w, "All exhibits ran on full data.")
+		return nil
+	}
+	fmt.Fprintln(w, "Exhibits computed on PARTIAL data:")
+	for _, e := range cs.PartialExhibits {
+		fmt.Fprintf(w, "  - %s\n", e)
+	}
+	return nil
+}

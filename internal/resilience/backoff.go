@@ -1,0 +1,46 @@
+package resilience
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff computes retry delays: exponential growth from Base by Factor,
+// capped at Cap, with optional "full jitter" (a uniform draw over
+// [0, ceiling]) as recommended by the classic AWS backoff analysis. A nil
+// Rand disables jitter, making Delay return the deterministic ceiling
+// itself; with an injected seeded Rand the jittered schedule is equally
+// deterministic, which the harvester relies on for reproducible runs.
+type Backoff struct {
+	Base   time.Duration // first-retry ceiling (required, > 0)
+	Cap    time.Duration // maximum ceiling (0 = uncapped)
+	Factor float64       // growth per attempt (values < 2 default to 2)
+	Rand   *rand.Rand    // full-jitter source; nil = no jitter
+}
+
+// Delay returns the delay before retry number attempt (0-based: attempt 0
+// is the delay after the first failure).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	factor := b.Factor
+	if factor < 2 {
+		factor = 2
+	}
+	ceiling := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		ceiling *= factor
+		if b.Cap > 0 && ceiling >= float64(b.Cap) {
+			ceiling = float64(b.Cap)
+			break
+		}
+	}
+	if b.Cap > 0 && ceiling > float64(b.Cap) {
+		ceiling = float64(b.Cap)
+	}
+	if b.Rand == nil {
+		return time.Duration(ceiling)
+	}
+	return time.Duration(b.Rand.Float64() * ceiling)
+}

@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Allow while the breaker is open (and by
+// half-open when the probe quota is already taken): the protected service
+// is presumed down and the call should be shed or routed to a fallback.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is the classic three-state circuit-breaker state.
+type BreakerState int8
+
+const (
+	// Closed: traffic flows; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: traffic is shed until the cool-down elapses.
+	Open
+	// HalfOpen: a bounded number of probe calls test recovery.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker. Zero fields take the documented defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures (while
+	// closed) that trips the breaker open. Default 5.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting
+	// half-open probes. Default 30s.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent probe calls half-open admits;
+	// that many consecutive probe successes close the breaker, any probe
+	// failure reopens it. Default 1.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// BreakerStats counts state transitions for reporting.
+type BreakerStats struct {
+	Trips      int // transitions into Open (first trip and reopen alike)
+	Recoveries int // transitions HalfOpen -> Closed
+	Shed       int // calls rejected with ErrOpen
+}
+
+// Breaker is a three-state (closed / open / half-open) circuit breaker.
+// Callers bracket each protected call with Allow and Record:
+//
+//	if err := b.Allow(); err != nil { ... shed or fall back ... }
+//	err := call()
+//	b.Record(err)
+//
+// Time comes from the injected Clock, so cool-downs elapse on virtual time
+// in deterministic runs. Safe for concurrent use.
+type Breaker struct {
+	cfg   BreakerConfig
+	clock Clock
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last tripped
+	probes    int       // in-flight half-open probes
+	probeWins int       // consecutive half-open successes
+	stats     BreakerStats
+}
+
+// NewBreaker returns a closed breaker. A nil clock uses WallClock.
+func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Breaker{cfg: cfg.withDefaults(), clock: clock}
+}
+
+// Allow reports whether a call may proceed now. It returns nil (admitting
+// the call, which must later be Recorded) or ErrOpen.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.clock.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.stats.Shed++
+			return ErrOpen
+		}
+		b.state = HalfOpen
+		b.probes = 0
+		b.probeWins = 0
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.stats.Shed++
+			return ErrOpen
+		}
+		b.probes++
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Record reports the outcome of a call previously admitted by Allow.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if err == nil {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.probes--
+		if err != nil {
+			b.trip()
+			return
+		}
+		b.probeWins++
+		if b.probeWins >= b.cfg.HalfOpenProbes {
+			b.state = Closed
+			b.failures = 0
+			b.stats.Recoveries++
+		}
+	case Open:
+		// A call admitted in half-open may report after a concurrent
+		// probe failure reopened the breaker; its outcome is moot.
+	}
+}
+
+// trip moves to Open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.clock.Now()
+	b.failures = 0
+	b.probes = 0
+	b.probeWins = 0
+	b.stats.Trips++
+}
+
+// State returns the current state (open lazily degrades to half-open only
+// on the next Allow, so an idle expired breaker still reports Open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a snapshot of the transition counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

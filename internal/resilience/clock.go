@@ -1,0 +1,83 @@
+// Package resilience provides the fault-tolerance primitives the resilient
+// ingestion path is built from: retry with exponential backoff and full
+// jitter, a three-state circuit breaker, and a token-bucket rate limiter.
+// Every primitive takes its randomness and its notion of time by injection,
+// so a harvest run — retries, breaker trips, rate-limit stalls and all — is
+// bit-for-bit reproducible under a seeded rand and a virtual clock, the same
+// property the synthetic corpus generator guarantees.
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the resilience primitives. Production code uses
+// WallClock; tests and deterministic harvests use a VirtualClock whose
+// Sleep returns immediately and advances a logical now.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// WallClock is the real time.Now/time.Sleep clock.
+type WallClock struct{}
+
+// Now returns time.Now().
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep waits for d of wall time, or until ctx is cancelled.
+func (WallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// VirtualClock is a logical clock: Sleep advances it instantly. It is safe
+// for concurrent use, though deterministic runs should confine one clock to
+// one goroutine (concurrent sleepers interleave nondeterministically).
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current logical time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the logical clock by d without blocking.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d > 0 {
+		c.mu.Lock()
+		c.now = c.now.Add(d)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Elapsed returns how far the clock has advanced past start.
+func (c *VirtualClock) Elapsed(start time.Time) time.Duration {
+	return c.Now().Sub(start)
+}

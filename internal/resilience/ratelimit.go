@@ -1,0 +1,93 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a token-bucket rate limiter: capacity tokens refill at
+// rate tokens/second; each call consumes one. Wait blocks (on the injected
+// Clock) until a token is available, so under a virtual clock the stall is
+// logical rather than real — the harvester uses that to model per-service
+// request quotas without slowing tests down.
+type TokenBucket struct {
+	mu       sync.Mutex
+	capacity float64
+	rate     float64 // tokens per second
+	tokens   float64
+	last     time.Time
+	clock    Clock
+}
+
+// NewTokenBucket returns a full bucket. Rate must be positive; capacity is
+// clamped to at least 1 token. A nil clock uses WallClock.
+func NewTokenBucket(capacity int, perSecond float64, clock Clock) (*TokenBucket, error) {
+	if perSecond <= 0 {
+		return nil, fmt.Errorf("resilience: nonpositive refill rate %g", perSecond)
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &TokenBucket{
+		capacity: float64(capacity),
+		rate:     perSecond,
+		tokens:   float64(capacity),
+		last:     clock.Now(),
+		clock:    clock,
+	}, nil
+}
+
+// refill credits tokens accrued since the last update; callers hold tb.mu.
+func (tb *TokenBucket) refill(now time.Time) {
+	elapsed := now.Sub(tb.last).Seconds()
+	if elapsed > 0 {
+		tb.tokens += elapsed * tb.rate
+		if tb.tokens > tb.capacity {
+			tb.tokens = tb.capacity
+		}
+	}
+	tb.last = now
+}
+
+// Allow consumes a token if one is available, without blocking.
+func (tb *TokenBucket) Allow() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill(tb.clock.Now())
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// Wait consumes a token, sleeping on the clock until one accrues or ctx is
+// done. It returns the stall duration (0 when a token was free).
+func (tb *TokenBucket) Wait(ctx context.Context) (time.Duration, error) {
+	var waited time.Duration
+	for {
+		tb.mu.Lock()
+		now := tb.clock.Now()
+		tb.refill(now)
+		if tb.tokens >= 1 {
+			tb.tokens--
+			tb.mu.Unlock()
+			return waited, nil
+		}
+		need := (1 - tb.tokens) / tb.rate
+		tb.mu.Unlock()
+		d := time.Duration(need * float64(time.Second))
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		if err := tb.clock.Sleep(ctx, d); err != nil {
+			return waited, err
+		}
+		waited += d
+	}
+}

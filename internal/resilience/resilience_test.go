@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// hintedError carries a Retry-After hint.
+type hintedError struct{ after time.Duration }
+
+func (e *hintedError) Error() string                 { return "slow down" }
+func (e *hintedError) RetryAfterHint() time.Duration { return e.after }
+
+func TestRetryerSucceedsAfterTransients(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	r := &Retryer{
+		MaxAttempts: 5,
+		Backoff:     &Backoff{Base: 10 * time.Millisecond},
+		Clock:       clock,
+	}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// Two retries: delays 10ms + 20ms of virtual time.
+	if got := clock.Elapsed(time.Unix(0, 0)); got != 30*time.Millisecond {
+		t.Errorf("virtual elapsed = %s, want 30ms", got)
+	}
+}
+
+func TestRetryerStopsOnPermanent(t *testing.T) {
+	r := &Retryer{MaxAttempts: 5, Clock: NewVirtualClock(time.Unix(0, 0))}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(errBoom)
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (permanent must not retry)", calls)
+	}
+	if !IsPermanent(err) || !errors.Is(err, errBoom) {
+		t.Errorf("err = %v, want permanent errBoom", err)
+	}
+}
+
+func TestRetryerExhaustsAttempts(t *testing.T) {
+	r := &Retryer{MaxAttempts: 3, Clock: NewVirtualClock(time.Unix(0, 0))}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errBoom
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Errorf("err = %v, want wrapped errBoom", err)
+	}
+}
+
+func TestRetryerHonorsRetryAfterHint(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	var delays []time.Duration
+	r := &Retryer{
+		MaxAttempts: 2,
+		Backoff:     &Backoff{Base: time.Millisecond},
+		Clock:       clock,
+		OnRetry:     func(_ int, _ error, d time.Duration) { delays = append(delays, d) },
+	}
+	_ = r.Do(context.Background(), func(context.Context) error {
+		return &hintedError{after: 250 * time.Millisecond}
+	})
+	if len(delays) != 1 || delays[0] != 250*time.Millisecond {
+		t.Errorf("delays = %v, want [250ms] (hint overrides shorter backoff)", delays)
+	}
+}
+
+func TestRetryerRespectsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Retryer{MaxAttempts: 3, Clock: NewVirtualClock(time.Unix(0, 0))}
+	err := r.Do(ctx, func(context.Context) error { return errBoom })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTokenBucketAllowAndRefill(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	tb, err := NewTokenBucket(2, 10, clock) // 2 burst, 10 tokens/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Allow() || !tb.Allow() {
+		t.Fatal("burst tokens unavailable")
+	}
+	if tb.Allow() {
+		t.Fatal("empty bucket granted a token")
+	}
+	clock.Sleep(context.Background(), 100*time.Millisecond) // refills 1 token
+	if !tb.Allow() {
+		t.Fatal("token not refilled after 100ms at 10/s")
+	}
+	if tb.Allow() {
+		t.Fatal("over-refilled")
+	}
+}
+
+func TestTokenBucketWaitAdvancesClock(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	tb, err := NewTokenBucket(1, 20, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stall, err := tb.Wait(context.Background()) // must wait 50ms of virtual time
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall != 50*time.Millisecond {
+		t.Errorf("stall = %s, want 50ms", stall)
+	}
+}
+
+func TestVirtualClockSleepHonorsContext(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := clock.Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if got := clock.Elapsed(time.Unix(0, 0)); got != 0 {
+		t.Errorf("clock advanced %s on cancelled sleep, want 0", got)
+	}
+}
+
+func TestWallClockSleepReturnsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	start := time.Now()
+	err := WallClock{}.Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not return promptly on cancel")
+	}
+}

@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// permanentError marks an error that retrying cannot fix (e.g. an
+// authoritative not-found); Retryer.Do stops immediately on one.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so IsPermanent reports true and retry loops give up.
+// A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent. Context cancellation and deadline expiry of the outer context
+// are also treated as permanent by Retryer.Do.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// RetryAfterHinter is implemented by errors that carry a server-provided
+// retry delay (a 429/503 Retry-After analog). Retryer.Do uses the hint in
+// place of the computed backoff when it is longer.
+type RetryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// Retryer runs an operation until it succeeds, exhausts MaxAttempts, or
+// fails permanently. Delays come from Backoff (subject to RetryAfter hints)
+// and elapse on Clock, so a virtual clock makes retries instantaneous and
+// reproducible.
+type Retryer struct {
+	MaxAttempts int           // total attempts including the first (min 1)
+	Backoff     *Backoff      // nil = retry immediately
+	PerAttempt  time.Duration // per-attempt deadline (0 = none)
+	Clock       Clock         // nil = WallClock
+
+	// OnRetry, if set, observes each failed attempt that will be retried:
+	// the 1-based attempt number, its error, and the upcoming delay.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// Do invokes fn until success. It returns nil on success; otherwise the
+// last error, wrapped with the attempt count.
+func (r *Retryer) Do(ctx context.Context, fn func(context.Context) error) error {
+	attempts := r.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	clock := r.Clock
+	if clock == nil {
+		clock = WallClock{}
+	}
+	var last error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = r.attempt(ctx, fn)
+		if last == nil {
+			return nil
+		}
+		if IsPermanent(last) || errors.Is(last, context.Canceled) {
+			return last
+		}
+		if attempt == attempts {
+			break
+		}
+		delay := time.Duration(0)
+		if r.Backoff != nil {
+			delay = r.Backoff.Delay(attempt - 1)
+		}
+		var hinter RetryAfterHinter
+		if errors.As(last, &hinter) {
+			if hint := hinter.RetryAfterHint(); hint > delay {
+				delay = hint
+			}
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, last, delay)
+		}
+		if err := clock.Sleep(ctx, delay); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts exhausted: %w", attempts, last)
+}
+
+func (r *Retryer) attempt(ctx context.Context, fn func(context.Context) error) error {
+	if r.PerAttempt <= 0 {
+		return fn(ctx)
+	}
+	actx, cancel := context.WithTimeout(ctx, r.PerAttempt)
+	defer cancel()
+	return fn(actx)
+}

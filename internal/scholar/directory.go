@@ -11,8 +11,14 @@ import (
 // Directory is an in-memory stand-in for the Google Scholar profile
 // registry: researcher ID to Profile, with deliberately incomplete
 // coverage (the paper could link only 68.3% of researchers, and the
-// missing third skews less experienced). It is safe for concurrent reads
-// after population; writes take the lock.
+// missing third skews less experienced).
+//
+// Concurrency contract: all methods are safe for concurrent use (reads
+// take an RLock, writes the lock), and every accessor returns copies —
+// Lookup returns a value, IDs and Snapshot freshly allocated containers —
+// so callers such as the concurrent harvester can never alias internal
+// state. The typical pattern is single-goroutine population followed by
+// many-goroutine reads.
 type Directory struct {
 	mu       sync.RWMutex
 	profiles map[string]Profile
@@ -71,7 +77,8 @@ func (d *Directory) Coverage(ids []string) float64 {
 	return float64(hit) / float64(len(ids))
 }
 
-// IDs returns the registered researcher IDs, sorted.
+// IDs returns the registered researcher IDs, sorted. The slice is a copy
+// owned by the caller.
 func (d *Directory) IDs() []string {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -83,12 +90,32 @@ func (d *Directory) IDs() []string {
 	return out
 }
 
+// Snapshot returns a copy of the full registry, decoupled from later
+// writes — a consistent view for bulk consumers (report generation,
+// harvest reconciliation) that must not hold the directory lock while
+// they work.
+func (d *Directory) Snapshot() map[string]Profile {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string]Profile, len(d.profiles))
+	for id, p := range d.profiles {
+		out[id] = p
+	}
+	return out
+}
+
 // SemanticScholar is the second bibliometric source: 100% author coverage
 // but an independent disambiguation pipeline, so its publication counts
 // correlate only weakly with Google Scholar's (the paper measures
 // r = 0.334). The simulation derives each count from the same underlying
 // career with heavy multiplicative noise plus an occasional disambiguation
 // blunder (merging or splitting author records).
+//
+// Concurrency contract: identical to Directory's — all methods are safe
+// for concurrent use and accessors return copies (PastPublications a
+// value, IDs a fresh slice), so concurrent harvest workers may share one
+// instance freely. RegisterFromTruth consumes a caller-owned rand and is
+// typically confined to the single-goroutine population phase.
 type SemanticScholar struct {
 	mu     sync.RWMutex
 	counts map[string]int
@@ -155,4 +182,17 @@ func (s *SemanticScholar) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.counts)
+}
+
+// IDs returns the registered researcher IDs, sorted. The slice is a copy
+// owned by the caller.
+func (s *SemanticScholar) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.counts))
+	for id := range s.counts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -21,12 +21,16 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faulty"
+	"repro/internal/ingest"
 	"repro/internal/report"
 	"repro/internal/synth"
 )
@@ -39,6 +43,12 @@ type Study struct {
 	// scID is the SC edition used by the §3.2 PC breakdown ("" when the
 	// corpus carries no SC).
 	scID dataset.ConfID
+	// harvest and baseline are set by the harvested construction path:
+	// baseline is the pristine generated corpus, data the (possibly
+	// degraded) corpus the harvest achieved, harvest the ingestion
+	// report. All nil/empty for directly constructed studies.
+	harvest  *ingest.HarvestReport
+	baseline *dataset.Dataset
 }
 
 // NewStudy generates the paper's main 2017 nine-conference corpus with the
@@ -65,6 +75,67 @@ func NewStudyFromConfig(cfg synth.Config) (*Study, error) {
 		return nil, err
 	}
 	return &Study{data: corpus.Data, scID: findSC(corpus.Data)}, nil
+}
+
+// NewHarvestedStudy generates the main 2017 corpus, then re-links every
+// researcher's bibliometric record by harvesting the simulated Google
+// Scholar and Semantic Scholar services through the named fault profile
+// ("clean", "flaky", "degraded", "outage"). Under "clean" the result is
+// identical to NewStudy; under faulty profiles the analyses run on the
+// degraded coverage the harvest achieved, and the report annotates which
+// exhibits consumed partial data.
+func NewHarvestedStudy(seed uint64, profile string) (*Study, error) {
+	return NewHarvestedStudyFromConfig(synth.Default2017(seed), profile)
+}
+
+// NewHarvestedStudyFromConfig is NewHarvestedStudy over a custom corpus
+// calibration (e.g. synth.FlagshipSeries or synth.ExtendedSystems).
+func NewHarvestedStudyFromConfig(cfg synth.Config, profile string) (*Study, error) {
+	prof, err := faulty.ByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	corpus, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, err := ingest.New(corpus.GS, corpus.S2, ingest.Config{Seed: cfg.Seed, Profile: prof})
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(corpus.Data.Persons))
+	for id := range corpus.Data.Persons {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	rep, err := h.Run(context.Background(), ids)
+	if err != nil {
+		return nil, fmt.Errorf("repro: harvest failed: %w", err)
+	}
+	degraded := ingest.Apply(corpus.Data, rep)
+	if err := degraded.Validate(); err != nil {
+		return nil, fmt.Errorf("repro: harvested corpus failed validation: %w", err)
+	}
+	return &Study{
+		data:     degraded,
+		scID:     findSC(degraded),
+		harvest:  rep,
+		baseline: corpus.Data,
+	}, nil
+}
+
+// Harvest returns the ingestion report of a harvested study (nil for
+// studies constructed without a harvest).
+func (s *Study) Harvest() *ingest.HarvestReport { return s.harvest }
+
+// CoverageSensitivity contrasts the analyses on the pristine corpus with
+// the same analyses on the coverage the harvest achieved. It errors for
+// studies constructed without a harvest.
+func (s *Study) CoverageSensitivity() (core.CoverageSensitivity, error) {
+	if s.harvest == nil || s.baseline == nil {
+		return core.CoverageSensitivity{}, fmt.Errorf("repro: study has no harvest (use NewHarvestedStudy)")
+	}
+	return core.CoverageSensitivityAnalysis(s.baseline, s.data, s.scID)
 }
 
 // FromDataset wraps an existing dataset (e.g. hand-loaded CSVs of a real
@@ -268,10 +339,11 @@ func ReplicateDefault(n int, baseSeed uint64) (core.ReplicationStudy, error) {
 // WriteReport renders the complete paper reproduction — every table and
 // figure — to w.
 func (s *Study) WriteReport(w io.Writer) error {
-	sections := []struct {
+	type section struct {
 		title string
 		fn    func(io.Writer) error
-	}{
+	}
+	sections := []section{
 		{"Table 1 — Conferences", func(w io.Writer) error { return report.Table1(w, s.data) }},
 		{"Conference profiles", func(w io.Writer) error { return report.ConferenceProfiles(w, s.data) }},
 		{"§2 — Google Scholar linkage", func(w io.Writer) error { return report.Linkage(w, s.data) }},
@@ -302,6 +374,14 @@ func (s *Study) WriteReport(w io.Writer) error {
 		{"Extension — reception over time", func(w io.Writer) error { return report.Trajectory(w, s.data) }},
 		{"Extension — distribution gaps (Kolmogorov-Smirnov)", func(w io.Writer) error { return report.DistributionGaps(w, s.data) }},
 		{"Extension — FAR by systems subfield", func(w io.Writer) error { return report.Subfields(w, s.data) }},
+	}
+	if s.harvest != nil {
+		sections = append(sections,
+			section{"Harvest — resilient ingestion", func(w io.Writer) error { return report.Harvest(w, s.harvest) }},
+			section{"Sensitivity — degraded coverage", func(w io.Writer) error {
+				return report.CoverageSensitivity(w, s.baseline, s.data, s.scID)
+			}},
+		)
 	}
 	for _, sec := range sections {
 		if _, err := fmt.Fprintf(w, "\n========== %s ==========\n", sec.title); err != nil {
