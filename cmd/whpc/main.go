@@ -86,6 +86,8 @@ func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultP
 		fmt.Fprintf(os.Stderr, "exhibit CSVs exported to %s\n", csvOut)
 	}
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	return study.WriteReport(w)
+	if err := study.WriteReport(w); err != nil {
+		return err
+	}
+	return w.Flush()
 }

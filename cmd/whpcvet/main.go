@@ -1,0 +1,111 @@
+// Command whpcvet runs the reproduction's custom static-analysis suite: the
+// determinism, map-order, float-comparison, error-handling, lock-safety and
+// documentation rules that keep the study's reports byte-identical across
+// runs, platforms, and worker counts.
+//
+// Usage:
+//
+//	go run ./cmd/whpcvet ./...          # human-readable findings, exit 1 if any
+//	go run ./cmd/whpcvet -json ./...    # machine-readable findings for CI
+//	go run ./cmd/whpcvet -rules         # print the rule registry
+//	go run ./cmd/whpcvet -rule maporder ./internal/report
+//
+// Suppress a single finding with an annotated reason on the same line or
+// the line above:
+//
+//	//whpcvet:ignore floatcmp exact IEEE boundary, not a tolerance check
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("whpcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (for CI archiving)")
+	rules := fs.Bool("rules", false, "print the rule registry and exit")
+	only := fs.String("rule", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *rules {
+		printRules(stdout, analyzers)
+		return 0
+	}
+	if *only != "" {
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "whpcvet: unknown rule %q (see -rules)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "whpcvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "whpcvet: %v\n", err)
+		return 2
+	}
+	findings := lint.Vet(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "whpcvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		fmt.Fprintf(stdout, "whpcvet: %d package(s), %d finding(s)\n", len(pkgs), len(findings))
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printRules writes the registry table so docs and CI logs can't drift from
+// the implementation.
+func printRules(w *os.File, analyzers []*lint.Analyzer) {
+	for _, a := range analyzers {
+		scope := "all packages"
+		if len(a.Scope) > 0 {
+			scope = strings.Join(a.Scope, ", ")
+		}
+		fmt.Fprintf(w, "%-12s %s\n%-12s scope: %s\n", a.Name, a.Doc, "", scope)
+	}
+}

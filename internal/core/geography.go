@@ -47,8 +47,11 @@ func CountriesWithMinAuthors(d *dataset.Dataset, minAuthors int) []CountryRow {
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		ri, rj := out[i].Ratio.Ratio(), out[j].Ratio.Ratio()
-		if ri != rj {
-			return ri > rj
+		switch {
+		case ri > rj:
+			return true
+		case rj > ri:
+			return false
 		}
 		return out[i].Code < out[j].Code
 	})

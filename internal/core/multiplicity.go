@@ -33,7 +33,7 @@ type MultiplicityAnalysis struct {
 // FamilyCorrection gathers the paper's main chi-squared and t-test
 // p-values and applies Holm at the given alpha (0 means 0.05).
 func FamilyCorrection(d *dataset.Dataset, scID dataset.ConfID, alpha float64) (MultiplicityAnalysis, error) {
-	if alpha == 0 {
+	if alpha == 0 { //whpcvet:ignore floatcmp 0 is the documented use-the-default sentinel, an exact value
 		alpha = 0.05
 	}
 	res := MultiplicityAnalysis{Alpha: alpha}

@@ -55,17 +55,25 @@ func SubfieldComparison(d *dataset.Dataset) (SubfieldAnalysis, error) {
 	}
 	sort.SliceStable(res.Rows, func(i, j int) bool {
 		ri, rj := res.Rows[i].FAR.Ratio(), res.Rows[j].FAR.Ratio()
-		if ri != rj {
-			return ri > rj
+		switch {
+		case ri > rj:
+			return true
+		case rj > ri:
+			return false
 		}
 		return res.Rows[i].Subfield < res.Rows[j].Subfield
 	})
+	subfields := make([]string, 0, len(bySubfield))
+	for sf := range bySubfield {
+		subfields = append(subfields, sf)
+	}
+	sort.Strings(subfields)
 	var hpcConfs, otherConfs []dataset.ConfID
-	for sf, confs := range bySubfield {
+	for _, sf := range subfields {
 		if sf == "HPC" {
-			hpcConfs = append(hpcConfs, confs...)
+			hpcConfs = append(hpcConfs, bySubfield[sf]...)
 		} else {
-			otherConfs = append(otherConfs, confs...)
+			otherConfs = append(otherConfs, bySubfield[sf]...)
 		}
 	}
 	if len(hpcConfs) == 0 {

@@ -141,7 +141,7 @@ func (d *Dataset) SaveDir(dir string) error {
 			return err
 		}
 		if err := w.fn(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("dataset: writing %s: %w", w.name, err)
 		}
 		if err := f.Close(); err != nil {
@@ -175,6 +175,7 @@ func readFile(path string, fn func(io.Reader) error) error {
 	if err != nil {
 		return err
 	}
+	//whpcvet:ignore errcheck close of a read-only file; the parse result is validated afterwards
 	defer f.Close()
 	if err := fn(f); err != nil {
 		return fmt.Errorf("dataset: reading %s: %w", filepath.Base(path), err)

@@ -43,7 +43,7 @@ func (f *Injector) Calls() int { return f.calls }
 // rng derives the deterministic fault stream for one (id, ordinal) pair.
 func (f *Injector) rng(id string, ordinal int) *rand.Rand {
 	h := fnv.New64a()
-	h.Write([]byte(id))
+	h.Write([]byte(id)) //whpcvet:ignore errcheck hash.Hash.Write never returns an error (hash package contract)
 	fmt.Fprintf(h, "#%d", ordinal)
 	return rand.New(rand.NewPCG(f.seed, h.Sum64()))
 }

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read or depend on the
+// wall clock. time.Time/time.Duration values themselves are fine — only the
+// source of ambient time is restricted.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// randConstructors are the math/rand(/v2) top-level functions that build an
+// explicit, seedable source — the sanctioned way to obtain randomness.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewChaCha8": true,
+}
+
+// DeterminismAnalyzer forbids ambient nondeterminism: wall-clock reads
+// outside internal/resilience (whose WallClock is the single sanctioned
+// doorway to real time) and the process-global math/rand source anywhere
+// (randomness must flow from a seeded *rand.Rand threaded through config).
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock reads outside internal/resilience and global math/rand functions everywhere",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(p *Pass) {
+	inResilience := scopeMatch(p.PkgPath, "internal/resilience")
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).IntN) are the sanctioned form
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] && !inResilience {
+					p.Report(sel, "time.%s reads the wall clock; inject a resilience.Clock instead", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					p.Report(sel, "global rand.%s is seeded from runtime entropy; thread a seeded *rand.Rand instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckAnalyzer flags calls whose error result is silently dropped: a
+// call statement, `defer`, or `go` whose callee returns an error that no
+// variable receives. A harvest that swallows an I/O error reports a corpus
+// it never wrote. Assigning the error to blank (`_ = f()`) is treated as an
+// explicit, greppable acknowledgment and not flagged.
+//
+// Exemptions: fmt.Fprint*/Print* (report renderers write through io.Writer
+// by convention and surface failures at Close), and methods on
+// strings.Builder and bytes.Buffer, whose errors are documented to always
+// be nil.
+func ErrCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errcheck",
+		Doc:  "flag call/defer/go statements that discard an error result (blank assignment is an explicit discard)",
+		Run:  runErrCheck,
+	}
+}
+
+func runErrCheck(p *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	returnsError := func(call *ast.CallExpr) bool {
+		t := p.TypeOf(call)
+		if t == nil {
+			return false
+		}
+		switch t := t.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if types.Identical(t.At(i).Type(), errType) {
+					return true
+				}
+			}
+			return false
+		default:
+			return types.Identical(t, errType)
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil || !returnsError(call) || p.errExempt(call) {
+				return true
+			}
+			p.Report(call, "error result of %s is discarded; handle it or assign to _ explicitly", calleeName(p, call))
+			return true
+		})
+	}
+}
+
+// errExempt reports whether the call is on the errcheck exemption list.
+func (p *Pass) errExempt(call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() + "." + obj.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method, or nil for calls
+// through function values and conversions.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeName renders a human-readable name for the callee.
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}

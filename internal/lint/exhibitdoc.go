@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ExhibitDocAnalyzer enforces doc comments where the reproduction meets its
+// readers: every exported identifier in the root repro package (the public
+// API surface auditors start from) and every exported exhibit constructor in
+// internal/core (the functions that compute the paper's tables and figures —
+// their doc comments are the traceability link from code to paper section).
+func ExhibitDocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "exhibitdoc",
+		Doc:   "require doc comments on exported identifiers in the root package and exhibit constructors in internal/core",
+		Scope: []string{"repro", "internal/core"},
+		Run:   runExhibitDoc,
+	}
+}
+
+func runExhibitDoc(p *Pass) {
+	constructorsOnly := scopeMatch(p.PkgPath, "internal/core")
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				if constructorsOnly && d.Recv != nil {
+					continue
+				}
+				if d.Doc == nil {
+					what := "exported function"
+					if d.Recv != nil {
+						what = "exported method"
+					} else if constructorsOnly {
+						what = "exhibit constructor"
+					}
+					p.Report(d.Name, "%s %s has no doc comment", what, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if constructorsOnly {
+					continue
+				}
+				p.checkGenDecl(d)
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether the declaration is a plain function or a
+// method on an exported base type; methods on unexported types are not part
+// of the API surface.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl requires docs on exported type, const, and var specs. A doc
+// on the enclosing declaration group covers every spec in it.
+func (p *Pass) checkGenDecl(d *ast.GenDecl) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				p.Report(s.Name, "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					p.Report(name, "exported %s %s has no doc comment", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}

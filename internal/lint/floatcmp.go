@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags ==/!= between floating-point operands and switch
+// statements on a float tag in the statistics packages. Raw float equality
+// makes exhibit output depend on rounding: a variance that is mathematically
+// zero can land at 1e-17 on one platform and 0 on another, flipping a
+// degenerate-case guard and with it a table cell. Callers should use the
+// stats epsilon helpers (AlmostZero/AlmostEqual) or annotate genuinely exact
+// IEEE boundary checks with //whpcvet:ignore floatcmp <reason>.
+//
+// The NaN self-test idiom `x != x` is recognized and not flagged.
+func FloatCmpAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "floatcmp",
+		Doc:   "flag ==/!= and switch on floating-point operands in internal/stats and internal/core",
+		Scope: []string{"internal/stats", "internal/core"},
+		Run:   runFloatCmp,
+	}
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				xt, yt := p.Info.Types[n.X], p.Info.Types[n.Y]
+				if xt.Type == nil || yt.Type == nil {
+					return true
+				}
+				if !isFloat(xt.Type) && !isFloat(yt.Type) {
+					return true
+				}
+				// Both sides constant: folded at compile time, exact by
+				// construction.
+				if xt.Value != nil && yt.Value != nil {
+					return true
+				}
+				// The NaN idiom compares an expression with itself.
+				if types.ExprString(n.X) == types.ExprString(n.Y) {
+					return true
+				}
+				p.Report(n, "raw float %s comparison; use an epsilon helper (AlmostEqual/AlmostZero) or annotate the exact check", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if t := p.TypeOf(n.Tag); t != nil && isFloat(t) {
+					p.Report(n, "switch on floating-point tag compares floats exactly; rewrite with epsilon comparisons")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,295 @@
+// Package lint is whpcvet's analysis engine: a stdlib-only static-analysis
+// suite that machine-checks the invariants the reproduction's exhibits rest
+// on. The paper's artifact promises byte-identical reports for a given seed
+// at any worker count; that promise dies quietly the moment analysis code
+// reads the wall clock, consults the global math/rand source, lets Go's
+// randomized map-iteration order leak into a report, or compares floats for
+// raw equality. Each of those hazards is a rule here, implemented on
+// go/parser + go/ast + go/types + go/token with no external dependencies.
+//
+// Findings can be suppressed at a single line with an annotation naming the
+// rule and a mandatory reason:
+//
+//	x := time.Now() //whpcvet:ignore determinism wall clock feeds log line only
+//
+// or, on the line immediately above the offending one:
+//
+//	//whpcvet:ignore floatcmp exact IEEE boundary case, not a tolerance check
+//	if p == 0.5 { ...
+//
+// A bare annotation with no reason is itself reported: the acceptance bar
+// for the reproduction is that every suppression is auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer, positioned at the
+// offending token so editors and CI logs can jump straight to it.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Rule)
+}
+
+// Analyzer is one named rule. Run inspects a type-checked package and
+// reports findings through the pass; the driver decides which packages each
+// analyzer sees via Scope and Exempt.
+type Analyzer struct {
+	// Name is the rule identifier used in findings, -rules output and
+	// ignore annotations.
+	Name string
+	// Doc is a one-line description printed by cmd/whpcvet -rules.
+	Doc string
+	// Scope limits the analyzer to packages whose import path matches one
+	// of these patterns (see scopeMatch). Empty means every package.
+	Scope []string
+	// Exempt removes matching packages even when Scope matches; e.g. the
+	// determinism rule exempts internal/resilience, the one package allowed
+	// to touch the wall clock.
+	Exempt []string
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer should run on the package with the
+// given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	for _, pat := range a.Exempt {
+		if scopeMatch(pkgPath, pat) {
+			return false
+		}
+	}
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, pat := range a.Scope {
+		if scopeMatch(pkgPath, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeMatch reports whether pkgPath matches pattern. A pattern matches the
+// identical import path, or a path that ends with "/"+pattern, so
+// "internal/report" matches "repro/internal/report" regardless of module
+// name.
+func scopeMatch(pkgPath, pattern string) bool {
+	return pkgPath == pattern || strings.HasSuffix(pkgPath, "/"+pattern)
+}
+
+// Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Pkg is the checked package; PkgPath is its import path (also
+	// available as Pkg.Path(), duplicated for convenience).
+	Pkg     *types.Package
+	PkgPath string
+	Info    *types.Info
+
+	findings *[]Finding
+	rule     string
+}
+
+// Report records a finding at the position of n.
+func (p *Pass) Report(n ast.Node, format string, args ...any) {
+	pos := p.Fset.Position(n.Pos())
+	*p.findings = append(*p.findings, Finding{
+		Rule:    p.rule,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Analyzers returns the full rule registry in display order. The slice is
+// freshly allocated; callers may filter it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		MapOrderAnalyzer(),
+		FloatCmpAnalyzer(),
+		ErrCheckAnalyzer(),
+		LockSafeAnalyzer(),
+		ExhibitDocAnalyzer(),
+	}
+}
+
+// AnalyzerByName returns the registered analyzer with the given name, or
+// nil if no rule has that name.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Vet runs every analyzer over every package it applies to, filters
+// suppressed findings via //whpcvet:ignore annotations, and returns the
+// surviving findings sorted by position. Malformed or unused-reason
+// annotations are themselves reported under the "ignore" pseudo-rule.
+func Vet(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.Path,
+				Info:     pkg.Info,
+				findings: &findings,
+				rule:     a.Name,
+			}
+			a.Run(pass)
+		}
+		findings = append(findings, suppress(pkg, &findings)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// ignoreDirective is one parsed //whpcvet:ignore annotation.
+type ignoreDirective struct {
+	rules  []string
+	reason string
+	line   int
+	file   string
+	pos    token.Pos
+}
+
+const ignorePrefix = "//whpcvet:ignore"
+
+// parseIgnores extracts every annotation from the package's comments,
+// keyed by file name.
+func parseIgnores(pkg *Package) map[string][]ignoreDirective {
+	out := make(map[string][]ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				d := ignoreDirective{line: pos.Line, file: pos.Filename, pos: c.Pos()}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.rules = strings.Split(fields[0], ",")
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				out[pos.Filename] = append(out[pos.Filename], d)
+			}
+		}
+	}
+	return out
+}
+
+// suppress removes findings covered by a well-formed annotation on the same
+// line or the line immediately above, rewriting *findings in place. It
+// returns extra findings for malformed annotations (no rule, unknown rule,
+// or missing reason).
+func suppress(pkg *Package, findings *[]Finding) []Finding {
+	ignores := parseIgnores(pkg)
+	if len(ignores) == 0 {
+		return nil
+	}
+	var extra []Finding
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	valid := make(map[string][]ignoreDirective)
+	for file, ds := range ignores {
+		for _, d := range ds {
+			switch {
+			case len(d.rules) == 0:
+				extra = append(extra, Finding{
+					Rule: "ignore", File: d.file, Line: d.line, Col: 1,
+					Message: "whpcvet:ignore names no rule",
+				})
+			case d.reason == "":
+				extra = append(extra, Finding{
+					Rule: "ignore", File: d.file, Line: d.line, Col: 1,
+					Message: fmt.Sprintf("whpcvet:ignore %s has no reason; every suppression must say why", strings.Join(d.rules, ",")),
+				})
+			default:
+				bad := false
+				for _, r := range d.rules {
+					if !known[r] {
+						extra = append(extra, Finding{
+							Rule: "ignore", File: d.file, Line: d.line, Col: 1,
+							Message: fmt.Sprintf("whpcvet:ignore names unknown rule %q", r),
+						})
+						bad = true
+					}
+				}
+				if !bad {
+					valid[file] = append(valid[file], d)
+				}
+			}
+		}
+	}
+	kept := (*findings)[:0]
+	for _, f := range *findings {
+		if !suppressed(f, valid[f.File]) {
+			kept = append(kept, f)
+		}
+	}
+	*findings = kept
+	return extra
+}
+
+// suppressed reports whether a directive in ds covers finding f: the
+// directive names f's rule and sits on f's line or the line above it.
+func suppressed(f Finding, ds []ignoreDirective) bool {
+	for _, d := range ds {
+		if d.line != f.Line && d.line != f.Line-1 {
+			continue
+		}
+		for _, r := range d.rules {
+			if r == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}

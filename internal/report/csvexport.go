@@ -50,12 +50,12 @@ func writeCSV(path string, rows [][]string) error {
 	}
 	w := csv.NewWriter(f)
 	if err := w.WriteAll(rows); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -133,10 +133,13 @@ func bandRows(d *dataset.Dataset) ([][]string, error) {
 		return nil, err
 	}
 	rows := [][]string{{"population", "gender", "novice", "mid_career", "experienced", "total"}}
-	for name, cells := range map[string][]core.BandCell{"all": r.All, "authors": r.Authors} {
-		for _, c := range cells {
+	for _, grp := range []struct {
+		name  string
+		cells []core.BandCell
+	}{{"all", r.All}, {"authors", r.Authors}} {
+		for _, c := range grp.cells {
 			rows = append(rows, []string{
-				name, c.Gender.String(),
+				grp.name, c.Gender.String(),
 				strconv.Itoa(c.Counts[0]), strconv.Itoa(c.Counts[1]),
 				strconv.Itoa(c.Counts[2]), strconv.Itoa(c.Total),
 			})

@@ -73,16 +73,16 @@ func chiSquaredTable(table [][]float64, yates bool) (ChiSquaredResult, error) {
 			total += v
 		}
 	}
-	if total == 0 {
+	if AlmostZero(total) {
 		return ChiSquaredResult{}, ErrDegenerate
 	}
 	for _, s := range rowSum {
-		if s == 0 {
+		if AlmostZero(s) {
 			return ChiSquaredResult{}, ErrDegenerate
 		}
 	}
 	for _, s := range colSum {
-		if s == 0 {
+		if AlmostZero(s) {
 			return ChiSquaredResult{}, ErrDegenerate
 		}
 	}
@@ -139,7 +139,7 @@ func ChiSquaredGoodnessOfFit(observed []float64, probs []float64) (ChiSquaredRes
 		total += o
 		psum += probs[i]
 	}
-	if total == 0 {
+	if AlmostZero(total) {
 		return ChiSquaredResult{}, ErrDegenerate
 	}
 	if absFloat(psum-1) > 1e-9 {

@@ -43,7 +43,7 @@ func PearsonCorrelation(x, y []float64) (CorrelationResult, error) {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if AlmostZero(sxx) || AlmostZero(syy) {
 		return CorrelationResult{}, fmt.Errorf("stats: correlation undefined for a constant sample")
 	}
 	r := sxy / math.Sqrt(sxx*syy)
@@ -55,7 +55,7 @@ func PearsonCorrelation(x, y []float64) (CorrelationResult, error) {
 	}
 	df := float64(n - 2)
 	var t, p float64
-	if math.Abs(r) == 1 {
+	if math.Abs(r) == 1 { //whpcvet:ignore floatcmp r clamped to exactly ±1 above; equality is exact by construction
 		t = math.Inf(1) * math.Copysign(1, r)
 		p = 0
 	} else {
@@ -99,7 +99,7 @@ func Ranks(xs []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] { //whpcvet:ignore floatcmp rank ties are exact duplicates of input values
 			j++
 		}
 		// Average rank for the tie group [i, j].

@@ -155,7 +155,7 @@ func Skewness(xs []float64) (float64, error) {
 	}
 	m2 /= n
 	m3 /= n
-	if m2 == 0 {
+	if AlmostZero(m2) {
 		return 0, ErrTooFew
 	}
 	g1 := m3 / math.Pow(m2, 1.5)

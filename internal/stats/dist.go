@@ -29,9 +29,9 @@ func (n Normal) CDF(x float64) float64 {
 func (n Normal) Quantile(p float64) float64 {
 	if math.IsNaN(p) || p <= 0 || p >= 1 {
 		switch {
-		case p == 0:
+		case p == 0: //whpcvet:ignore floatcmp exact domain boundary: quantile at p=0 is -Inf
 			return math.Inf(-1)
-		case p == 1:
+		case p == 1: //whpcvet:ignore floatcmp exact domain boundary: quantile at p=1 is +Inf
 			return math.Inf(1)
 		default:
 			return math.NaN()
@@ -108,7 +108,7 @@ func (t StudentsT) CDF(x float64) float64 {
 	if t.DF <= 0 {
 		return math.NaN()
 	}
-	if x == 0 {
+	if x == 0 { //whpcvet:ignore floatcmp exact symmetry point of the t CDF
 		return 0.5
 	}
 	ib := RegIncBeta(t.DF/2, 0.5, t.DF/(t.DF+x*x))
@@ -132,15 +132,15 @@ func (t StudentsT) TwoSidedP(x float64) float64 {
 func (t StudentsT) Quantile(p float64) float64 {
 	if t.DF <= 0 || math.IsNaN(p) || p <= 0 || p >= 1 {
 		switch {
-		case p == 0:
+		case p == 0: //whpcvet:ignore floatcmp exact domain boundary: quantile at p=0 is -Inf
 			return math.Inf(-1)
-		case p == 1:
+		case p == 1: //whpcvet:ignore floatcmp exact domain boundary: quantile at p=1 is +Inf
 			return math.Inf(1)
 		default:
 			return math.NaN()
 		}
 	}
-	if p == 0.5 {
+	if p == 0.5 { //whpcvet:ignore floatcmp exact median shortcut, not a tolerance check
 		return 0
 	}
 	// Bracket using the normal quantile inflated for heavy tails.
@@ -176,8 +176,8 @@ func (c ChiSquared) PDF(x float64) float64 {
 	if c.K <= 0 || x < 0 {
 		return math.NaN()
 	}
-	if x == 0 {
-		if c.K == 2 {
+	if x == 0 { //whpcvet:ignore floatcmp exact boundary of the chi-squared support
+		if c.K == 2 { //whpcvet:ignore floatcmp df=2 is an exact special case of the density formula
 			return 0.5
 		}
 		if c.K < 2 {

@@ -1,0 +1,39 @@
+package stats
+
+import "math"
+
+// Floating-point comparison helpers enforced by the whpcvet floatcmp rule.
+// Degenerate-case guards in this package ask "is this computed quantity
+// mathematically zero?" — a question raw == answers wrongly whenever
+// summation order or platform rounding leaves a residue like 1e-17 where
+// algebra says 0, flipping a guard and with it an exhibit cell. Exact
+// comparisons that are genuinely exact (domain boundaries, sentinels,
+// clamped constants) stay as == with a //whpcvet:ignore annotation instead.
+
+// zeroTol is the absolute tolerance under which a computed sum, variance,
+// or standard error is treated as mathematically zero. The pipeline's
+// inputs are counts and ratios of magnitude ~1e0-1e4, for which genuine
+// nonzero spreads sit many orders of magnitude above 1e-12 while pure
+// rounding residue sits many below it.
+const zeroTol = 1e-12
+
+// eqTol is the relative tolerance for AlmostEqual.
+const eqTol = 1e-9
+
+// AlmostZero reports whether x is mathematically zero up to rounding:
+// |x| < 1e-12. NaN is not almost zero.
+func AlmostZero(x float64) bool {
+	return math.Abs(x) < zeroTol
+}
+
+// AlmostEqual reports whether a and b agree to within a 1e-9 relative
+// tolerance (absolute near zero). NaN compares unequal to everything,
+// including itself; equal infinities compare equal.
+func AlmostEqual(a, b float64) bool {
+	if a == b { //whpcvet:ignore floatcmp exact fast path; also the only correct test for equal infinities
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= eqTol*scale
+}

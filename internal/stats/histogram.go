@@ -27,7 +27,7 @@ func NewHistogram(xs []float64, nbins int) (*Histogram, error) {
 	}
 	lo, _ := Min(xs)
 	hi, _ := Max(xs)
-	if lo == hi {
+	if lo == hi { //whpcvet:ignore floatcmp Min==Max detects a literally constant sample; exact by construction
 		hi = lo + 1 // all-equal sample: single degenerate bin of width 1/nbins
 	}
 	return NewHistogramRange(xs, lo, hi, nbins)
@@ -57,7 +57,7 @@ func NewHistogramRange(xs []float64, lo, hi float64, nbins int) (*Histogram, err
 			h.Under++
 		case x > hi:
 			h.Over++
-		case x == hi:
+		case x == hi: //whpcvet:ignore floatcmp exact top-edge inclusion rule of the closed last bin
 			h.Counts[nbins-1]++
 		default:
 			idx := int((x - lo) / h.Width)

@@ -64,7 +64,7 @@ func bandwidth(xs []float64, rule BandwidthRule) (float64, error) {
 	if iqr > 0 && iqr/1.349 < spread {
 		spread = iqr / 1.349
 	}
-	if spread == 0 {
+	if AlmostZero(spread) {
 		// Constant sample: degenerate density; pick a tiny positive width
 		// so evaluation is still defined.
 		spread = 1e-9

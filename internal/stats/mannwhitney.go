@@ -57,7 +57,7 @@ func MannWhitneyU(x, y []float64) (MannWhitneyResult, error) {
 	if diff < 0 {
 		cc = -0.5
 	}
-	if diff == 0 {
+	if diff == 0 { //whpcvet:ignore floatcmp rank sums are half-integer exact, so 0 is exactly representable
 		cc = 0
 	}
 	z := (diff - cc) / math.Sqrt(variance)

@@ -109,7 +109,7 @@ func TwoProportionZTest(p1, p2 Proportion) (z float64, p float64, err error) {
 	n1, n2 := float64(p1.N), float64(p2.N)
 	pool := float64(p1.K+p2.K) / (n1 + n2)
 	se := math.Sqrt(pool * (1 - pool) * (1/n1 + 1/n2))
-	if se == 0 {
+	if AlmostZero(se) {
 		return 0, 0, fmt.Errorf("stats: z-test undefined (pooled proportion %g)", pool)
 	}
 	z = (p1.Ratio() - p2.Ratio()) / se

@@ -39,7 +39,7 @@ func LinearRegression(x, y []float64) (RegressionResult, error) {
 		sxy += dx * dy
 		syy += dy * dy
 	}
-	if sxx == 0 {
+	if AlmostZero(sxx) {
 		return RegressionResult{}, fmt.Errorf("stats: regression undefined for constant x")
 	}
 	slope := sxy / sxx
@@ -67,11 +67,11 @@ func LinearRegression(x, y []float64) (RegressionResult, error) {
 		N:          n,
 		ResidualSD: resSD,
 	}
-	if se == 0 {
+	if AlmostZero(se) {
 		// Perfect fit: slope is exact.
 		res.T = math.Inf(1) * math.Copysign(1, slope)
 		res.P = 0
-		if slope == 0 {
+		if AlmostZero(slope) {
 			res.T = 0
 			res.P = 1
 		}

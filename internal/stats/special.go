@@ -21,7 +21,7 @@ func RegIncGammaP(a, x float64) float64 {
 	switch {
 	case math.IsNaN(a) || math.IsNaN(x) || a <= 0 || x < 0:
 		return math.NaN()
-	case x == 0:
+	case x == 0: //whpcvet:ignore floatcmp exact lower boundary of the incomplete gamma domain
 		return 0
 	case math.IsInf(x, 1):
 		return 1
@@ -38,7 +38,7 @@ func RegIncGammaQ(a, x float64) float64 {
 	switch {
 	case math.IsNaN(a) || math.IsNaN(x) || a <= 0 || x < 0:
 		return math.NaN()
-	case x == 0:
+	case x == 0: //whpcvet:ignore floatcmp exact lower boundary of the incomplete gamma domain
 		return 1
 	case math.IsInf(x, 1):
 		return 0
@@ -103,9 +103,9 @@ func RegIncBeta(a, b, x float64) float64 {
 		return math.NaN()
 	case a <= 0 || b <= 0 || x < 0 || x > 1:
 		return math.NaN()
-	case x == 0:
+	case x == 0: //whpcvet:ignore floatcmp exact lower boundary of the incomplete beta domain
 		return 0
-	case x == 1:
+	case x == 1: //whpcvet:ignore floatcmp exact upper boundary of the incomplete beta domain
 		return 1
 	}
 	lga, _ := math.Lgamma(a)

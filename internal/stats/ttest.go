@@ -48,7 +48,7 @@ func WelchTTest(x, y []float64) (TTestResult, error) {
 	sex2 := vx / nx
 	sey2 := vy / ny
 	se := math.Sqrt(sex2 + sey2)
-	if se == 0 {
+	if AlmostZero(se) {
 		return TTestResult{}, errors.New("stats: Welch t-test undefined for two constant samples")
 	}
 	t := (mx - my) / se
@@ -87,7 +87,7 @@ func PooledTTest(x, y []float64) (TTestResult, error) {
 	df := nx + ny - 2
 	sp2 := ((nx-1)*vx + (ny-1)*vy) / df
 	se := math.Sqrt(sp2 * (1/nx + 1/ny))
-	if se == 0 {
+	if AlmostZero(se) {
 		return TTestResult{}, errors.New("stats: pooled t-test undefined for two constant samples")
 	}
 	t := (mx - my) / se
@@ -119,7 +119,7 @@ func OneSampleTTest(x []float64, mu float64) (TTestResult, error) {
 	v, _ := Variance(x)
 	n := float64(len(x))
 	se := math.Sqrt(v / n)
-	if se == 0 {
+	if AlmostZero(se) {
 		return TTestResult{}, errors.New("stats: one-sample t-test undefined for a constant sample")
 	}
 	t := (m - mu) / se

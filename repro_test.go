@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -61,6 +62,58 @@ func TestWriteReportCoversEveryExhibit(t *testing.T) {
 	}
 	if len(out) < 5000 {
 		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+// TestReportDeterministicAcrossGOMAXPROCS is the regression test behind the
+// artifact's headline promise: the rendered study is byte-identical for a
+// given seed at any parallelism. It is golden-free — each report is rendered
+// fresh under a different GOMAXPROCS and compared against the other, so a
+// nondeterminism bug (map-order leak, wall-clock read, scheduler-dependent
+// float summation) fails the diff without any fixture to go stale. Both the
+// directly generated corpus and the concurrent harvest path (a 4-goroutine
+// worker pool whose interleaving genuinely changes with GOMAXPROCS) are
+// covered.
+func TestReportDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	render := func(procs int, build func() (*Study, error)) []byte {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		s, err := build()
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		var b bytes.Buffer
+		if err := s.WriteReport(&b); err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		return b.Bytes()
+	}
+	paths := []struct {
+		name  string
+		build func() (*Study, error)
+	}{
+		{"generated", func() (*Study, error) { return NewStudy(2021) }},
+		{"harvested", func() (*Study, error) { return NewHarvestedStudy(2021, "flaky") }},
+	}
+	for _, path := range paths {
+		t.Run(path.name, func(t *testing.T) {
+			serial := render(1, path.build)
+			parallel := render(8, path.build)
+			if bytes.Equal(serial, parallel) {
+				return
+			}
+			line := 1
+			for i := range serial {
+				if i >= len(parallel) || serial[i] != parallel[i] {
+					break
+				}
+				if serial[i] == '\n' {
+					line++
+				}
+			}
+			t.Errorf("report differs between GOMAXPROCS=1 (%d bytes) and GOMAXPROCS=8 (%d bytes); first divergence at line %d",
+				len(serial), len(parallel), line)
+		})
 	}
 }
 
