@@ -1,0 +1,71 @@
+package repro_test
+
+// The whpcd serving benchmarks live in an external test package: the
+// internal bench_test.go is `package repro`, which internal/serve imports,
+// so importing serve there would cycle. From repro_test both sides are
+// visible.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func newBenchServer(b *testing.B) *serve.Server {
+	b.Helper()
+	s, err := serve.New(serve.Config{DefaultSeed: 2021})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchGet drives one request through the middleware chain and fails the
+// benchmark on a non-200.
+func benchGet(b *testing.B, h http.Handler, target string) {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("GET %s = %d: %s", target, rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServeFAR measures the steady-state (cache-warm) JSON endpoint:
+// one cache lookup plus the response write.
+func BenchmarkServeFAR(b *testing.B) {
+	s := newBenchServer(b)
+	h := s.Handler()
+	benchGet(b, h, "/v1/far") // materialize the study and warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, h, "/v1/far")
+	}
+}
+
+// BenchmarkServeReportCached contrasts the cold full-report render (study
+// resident, exhibit cache purged every iteration) with the warm memoized
+// path — the factor between them is the win the exhibit cache buys.
+func BenchmarkServeReportCached(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		s := newBenchServer(b)
+		h := s.Handler()
+		benchGet(b, h, "/v1/report") // materialize the study up front
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.PurgeExhibitCache()
+			benchGet(b, h, "/v1/report")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := newBenchServer(b)
+		h := s.Handler()
+		benchGet(b, h, "/v1/report")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchGet(b, h, "/v1/report")
+		}
+	})
+}

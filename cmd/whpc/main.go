@@ -5,6 +5,7 @@
 // Usage:
 //
 //	whpc [-seed N] [-load DIR] [-save DIR] [-flagship] [-fault-profile NAME]
+//	     [-list] [-exhibit ID]
 //
 // With -flagship the §3.4 SC/ISC 2016-2020 corpus is used instead of the
 // main nine-conference 2017 corpus. -save writes the corpus CSVs before
@@ -13,7 +14,9 @@
 // through a named fault-injection profile (clean, flaky, degraded,
 // outage) and appends the resilient-ingestion and degraded-coverage
 // sections to the report; it cannot be combined with -load (a saved
-// corpus carries no live services to harvest).
+// corpus carries no live services to harvest). -list prints the stable
+// exhibit IDs and titles; -exhibit renders a single exhibit instead of the
+// whole report.
 package main
 
 import (
@@ -38,15 +41,17 @@ func main() {
 	extended := flag.Bool("extended", false, "use the extended all-systems-subfields corpus (future work)")
 	faultProfile := flag.String("fault-profile", "",
 		"harvest the bibliometric services under a fault profile ("+strings.Join(faulty.ProfileNames(), ", ")+")")
+	list := flag.Bool("list", false, "list the exhibit IDs and titles instead of reporting")
+	exhibit := flag.String("exhibit", "", "render only the exhibit with this ID")
 	flag.Parse()
 
-	if err := run(*seed, *load, *save, *csvOut, *flagship, *extended, *faultProfile); err != nil {
+	if err := run(*seed, *load, *save, *csvOut, *flagship, *extended, *faultProfile, *list, *exhibit); err != nil {
 		fmt.Fprintln(os.Stderr, "whpc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultProfile string) error {
+func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultProfile string, list bool, exhibit string) error {
 	var study *repro.Study
 	var err error
 	switch {
@@ -86,8 +91,23 @@ func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultP
 		fmt.Fprintf(os.Stderr, "exhibit CSVs exported to %s\n", csvOut)
 	}
 	w := bufio.NewWriter(os.Stdout)
-	if err := study.WriteReport(w); err != nil {
-		return err
+	switch {
+	case list:
+		for _, ex := range study.Exhibits() {
+			fmt.Fprintf(w, "%-28s %s\n", ex.ID, ex.Title)
+		}
+	case exhibit != "":
+		ex, ok := study.Exhibit(exhibit)
+		if !ok {
+			return fmt.Errorf("unknown exhibit %q (use -list to enumerate)", exhibit)
+		}
+		if err := ex.Render(w); err != nil {
+			return err
+		}
+	default:
+		if err := study.WriteReport(w); err != nil {
+			return err
+		}
 	}
 	return w.Flush()
 }

@@ -1,0 +1,85 @@
+// Command whpcd serves the reproduction's analyses over HTTP: JSON
+// endpoints for the headline statistics, plain-text exhibits and the full
+// report, CSV exports, and Prometheus metrics. Responses are memoized per
+// (seed, corpus, fault-profile) study, deduplicated with singleflight, and
+// byte-identical to what the library renders directly.
+//
+// Usage:
+//
+//	whpcd [-addr :8171] [-seed 2021] [-fault-profile none]
+//	      [-cache-size 256] [-study-cache 4] [-max-inflight 64]
+//	      [-rate 0] [-burst 8] [-timeout 30s] [-drain 15s] [-quiet]
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
+// requests finish (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "whpcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8171", "listen address")
+		seed        = flag.Uint64("seed", 2021, "default corpus seed for requests without ?seed=")
+		profile     = flag.String("fault-profile", "none", "default harvest fault profile for requests without ?profile= (none, clean, flaky, degraded, outage)")
+		cacheSize   = flag.Int("cache-size", 256, "max memoized exhibit renders")
+		studyCache  = flag.Int("study-cache", 4, "max resident materialized studies")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrently served requests (excess get 503)")
+		rate        = flag.Float64("rate", 0, "per-route rate limit in requests/second (0 disables)")
+		burst       = flag.Int("burst", 8, "per-route rate-limit burst")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		quiet       = flag.Bool("quiet", false, "disable the JSON access log on stderr")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		DefaultSeed:    *seed,
+		DefaultProfile: *profile,
+		CacheCap:       *cacheSize,
+		StudyCap:       *studyCache,
+		MaxInFlight:    *maxInflight,
+		RatePerSecond:  *rate,
+		RateBurst:      *burst,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("whpcd listening on %s (seed %d, profile %s)\n", l.Addr(), *seed, *profile)
+	if err := srv.Serve(ctx, l); err != nil {
+		return err
+	}
+	fmt.Println("whpcd drained cleanly")
+	return nil
+}

@@ -52,6 +52,22 @@ type Config struct {
 	// rate limiter (defaults 2000/s, burst 50).
 	RatePerSecond float64
 	RateBurst     int
+
+	// Hooks receives live harvest telemetry as the workers progress, so a
+	// serving layer can export retry and outcome counters without waiting
+	// for the final report. The zero value disables observation.
+	Hooks Hooks
+}
+
+// Hooks are optional harvest-telemetry callbacks. They fire concurrently
+// from worker goroutines and must be safe for concurrent use; nil funcs are
+// skipped. Hooks observe the run — they must not feed state back into it,
+// or the harvest's determinism guarantee is forfeit.
+type Hooks struct {
+	// OnRetry fires once per retried attempt, either service.
+	OnRetry func()
+	// OnOutcome fires once per researcher with the final harvest outcome.
+	OnOutcome func(Outcome)
 }
 
 func (c Config) withDefaults() Config {
@@ -155,12 +171,13 @@ type worker struct {
 	gs    *sourceChain
 	s2    *sourceChain
 	rep   HarvestReport
+	hooks Hooks
 }
 
 func (h *Harvester) newWorker(index, share int) *worker {
 	start := time.Unix(0, 0).UTC()
 	clock := resilience.NewVirtualClock(start)
-	w := &worker{clock: clock, start: start}
+	w := &worker{clock: clock, start: start, hooks: h.cfg.Hooks}
 	w.rep.Outcomes = make(map[string]Result, share)
 	// Distinct, deterministic seeds per worker and per service.
 	mix := func(tag uint64) uint64 {
@@ -201,7 +218,12 @@ func (h *Harvester) newChain(w *worker, src faulty.ProfileSource, spec faulty.Fa
 		},
 		PerAttempt: h.cfg.PerAttempt,
 		Clock:      w.clock,
-		OnRetry:    func(int, error, time.Duration) { w.rep.Retries++ },
+		OnRetry: func(int, error, time.Duration) {
+			w.rep.Retries++
+			if w.hooks.OnRetry != nil {
+				w.hooks.OnRetry()
+			}
+		},
 	}
 	return c
 }
@@ -294,6 +316,9 @@ func (w *worker) run(ctx context.Context, ids []string) error {
 		}
 		w.rep.Total++
 		w.rep.Outcomes[id] = res
+		if w.hooks.OnOutcome != nil {
+			w.hooks.OnOutcome(res.Outcome)
+		}
 	}
 	for _, ch := range []*sourceChain{w.gs, w.s2} {
 		st := ch.breaker.Stats()

@@ -34,6 +34,11 @@ var randConstructors = map[string]bool{
 // outside internal/resilience (whose WallClock is the single sanctioned
 // doorway to real time) and the process-global math/rand source anywhere
 // (randomness must flow from a seeded *rand.Rand threaded through config).
+// Calling a method on a concrete resilience.WallClock value counts as a
+// wall-clock read too — otherwise serving code could smuggle time.Now in
+// as resilience.WallClock{}.Now(); packages like internal/serve and
+// internal/obs must reach real time only through an injected
+// resilience.Clock interface value.
 func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
@@ -55,8 +60,18 @@ func runDeterminism(p *Pass) {
 				return true
 			}
 			sig, ok := fn.Type().(*types.Signature)
-			if !ok || sig.Recv() != nil {
-				return true // methods (e.g. (*rand.Rand).IntN) are the sanctioned form
+			if !ok {
+				return true
+			}
+			if sig.Recv() != nil {
+				// Methods (e.g. (*rand.Rand).IntN) are the sanctioned form —
+				// except on a concrete WallClock value, which is time.Now in
+				// a trench coat. Interface calls through resilience.Clock
+				// stay legal: the injected implementation decides.
+				if !inResilience && isWallClockMethod(fn, sig) {
+					p.Report(sel, "resilience.WallClock.%s reads the wall clock; accept an injected resilience.Clock instead of constructing WallClock", fn.Name())
+				}
+				return true
 			}
 			switch fn.Pkg().Path() {
 			case "time":
@@ -71,4 +86,22 @@ func runDeterminism(p *Pass) {
 			return true
 		})
 	}
+}
+
+// isWallClockMethod reports whether fn is Now or Sleep on the concrete
+// resilience.WallClock type (not on the Clock interface).
+func isWallClockMethod(fn *types.Func, sig *types.Signature) bool {
+	if fn.Name() != "Now" && fn.Name() != "Sleep" {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "WallClock" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && scopeMatch(pkg.Path(), "internal/resilience")
 }

@@ -113,6 +113,28 @@ func StillNoGlobalRand() int { return rand.IntN(10) }
 	wantFindings(t, got, "determinism", 10)
 }
 
+// TestDeterminismWallClockMethods loads the on-disk clockabuse fixture (it
+// needs a second package — the real internal/resilience — so the in-memory
+// single-file loader cannot host it) and asserts the analyzer flags method
+// calls on a concrete WallClock value while accepting interface-mediated
+// reads and bare construction. The testdata directory is invisible to
+// ./... patterns, so the self-host test stays clean.
+func TestDeterminismWallClockMethods(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./internal/lint/testdata/clockabuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	got := Vet(pkgs, []*Analyzer{DeterminismAnalyzer()})
+	wantFindings(t, got, "determinism", 16, 22)
+}
+
 func TestMapOrder(t *testing.T) {
 	const src = `package fix
 

@@ -1,0 +1,35 @@
+// Package clockabuse is a whpcvet test fixture: it smuggles wall-clock
+// reads past the naive time.Now check by calling methods on a concrete
+// resilience.WallClock value. The determinism analyzer must flag the
+// concrete method calls and accept the interface-mediated ones.
+package clockabuse
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// BadNow constructs the sanctioned doorway just to walk through it.
+func BadNow() time.Time {
+	return resilience.WallClock{}.Now()
+}
+
+// BadSleep does the same with Sleep, via a named concrete value.
+func BadSleep(ctx context.Context) error {
+	wc := resilience.WallClock{}
+	return wc.Sleep(ctx, time.Second)
+}
+
+// GoodInjected reads time through the interface: the caller decides whether
+// it is wall or virtual.
+func GoodInjected(c resilience.Clock) time.Time {
+	return c.Now()
+}
+
+// GoodConstruction only builds the value to hand it to a config; building
+// WallClock is fine, calling it is not.
+func GoodConstruction() resilience.Clock {
+	return resilience.WallClock{}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families render in name order and
+// series in label order, so two scrapes of the same metric state are
+// byte-identical. GaugeFunc values are computed here, with no locks held.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series of one family.
+func writeSeries(w io.Writer, f *famSnap, s seriesSnap) error {
+	switch m := s.metric.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.key), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.key), m.Value())
+		return err
+	case func() float64:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.key), ftoa(m()))
+		return err
+	case *Histogram:
+		buckets, sum, count := m.snapshotCumulative()
+		for i, c := range buckets {
+			le := "+Inf"
+			if i < len(f.bounds) {
+				le = ftoa(f.bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bracedWith(s.key, `le="`+le+`"`), c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(s.key), ftoa(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(s.key), count)
+		return err
+	default:
+		return fmt.Errorf("obs: unknown metric type %T in family %s", s.metric, f.name)
+	}
+}
+
+// braced wraps a non-empty label-pair key in braces.
+func braced(key string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "}"
+}
+
+// bracedWith wraps key plus one extra label pair in braces.
+func bracedWith(key, extra string) string {
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + key + "," + extra + "}"
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteVars renders the registry as a JSON object in the spirit of
+// expvar's /debug/vars: one key per series ("name" or "name{labels}"),
+// histograms as {count, sum, buckets} objects. encoding/json sorts object
+// keys, so the output is deterministic for a given metric state.
+func (r *Registry) WriteVars(w io.Writer) error {
+	vars := make(map[string]any)
+	for _, f := range r.snapshot() {
+		for _, s := range f.series {
+			key := f.name + braced(s.key)
+			switch m := s.metric.(type) {
+			case *Counter:
+				vars[key] = m.Value()
+			case *Gauge:
+				vars[key] = m.Value()
+			case func() float64:
+				vars[key] = jsonFloat(m())
+			case *Histogram:
+				buckets, sum, count := m.snapshotCumulative()
+				bs := make(map[string]int64, len(buckets))
+				for i, c := range buckets {
+					le := "+Inf"
+					if i < len(f.bounds) {
+						le = ftoa(f.bounds[i])
+					}
+					bs[le] = c
+				}
+				vars[key] = map[string]any{"count": count, "sum": jsonFloat(sum), "buckets": bs}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(vars)
+}
+
+// jsonFloat maps NaN and infinities (unrepresentable in JSON) to nil.
+func jsonFloat(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return v
+}
+
+// Handler serves the Prometheus text exposition (for /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// VarsHandler serves the JSON exposition (for /debug/vars).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteVars(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+// Package obs is whpcd's observability core: a dependency-free metrics
+// registry with atomic counters, gauges, and latency histograms, exposed in
+// Prometheus text format at /metrics and as JSON at /debug/vars. The
+// registry follows the same discipline as the rest of the reproduction:
+// exposition output is byte-deterministic for a given metric state (families
+// and series render in sorted order), no metric ever reads the wall clock
+// (durations are observed by the caller, who times requests through an
+// injected resilience.Clock), and collection never executes callbacks or
+// blocks while a lock is held.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency histogram bucket upper bounds, in
+// seconds, spanning cache hits (~µs) through cold harvested-study
+// materialization (~s).
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// usable; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down (in-flight requests,
+// resident cache entries). The zero value is usable.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution metric in the Prometheus style:
+// per-bucket observation counts plus a running sum and total count.
+// Observations are lock-free (atomics only).
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits, updated by CAS
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value (for latencies: seconds).
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshotCumulative returns the cumulative per-bucket counts (Prometheus
+// bucket semantics), the sum, and the count.
+func (h *Histogram) snapshotCumulative() ([]int64, float64, int64) {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out, h.Sum(), h.count.Load()
+}
+
+// metric kinds, used for exposition and for catching a name registered
+// twice under different kinds.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	labels []string // label names; empty for single-series families
+
+	mu     sync.Mutex
+	series map[string]any // label-pair key ("" for unlabeled) -> *Counter/*Gauge/*Histogram/func() float64
+
+	// bounds configures histogram families; nil otherwise.
+	bounds []float64
+}
+
+// getOrCreate returns the series for key, creating it with mk on first use.
+// mk runs before the lock is taken (a losing speculative allocation is
+// dropped), so no caller-supplied code ever executes under the family lock.
+func (f *family) getOrCreate(key string, mk func() any) any {
+	fresh := mk()
+	f.mu.Lock()
+	m, ok := f.series[key]
+	if !ok {
+		m = fresh
+		f.series[key] = m
+	}
+	f.mu.Unlock()
+	return m
+}
+
+// Registry holds named metric families. The zero value is not usable;
+// construct with NewRegistry. All methods are safe for concurrent use, and
+// re-registering an existing name with the same kind returns the existing
+// metric (registration is idempotent, so request paths can look metrics up
+// by name without plumbing).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// familyFor returns the named family, creating it on first registration and
+// panicking when the name is reused with a different kind or label set (a
+// programming error that would corrupt the exposition).
+func (r *Registry) familyFor(name, help, kind string, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: kind,
+			labels: append([]string(nil), labels...),
+			series: make(map[string]any),
+			bounds: append([]float64(nil), bounds...),
+		}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s(%d labels), was %s(%d labels)",
+			name, kind, len(labels), f.kind, len(f.labels)))
+	}
+	return f
+}
+
+// Counter registers (or returns) the unlabeled counter with the given name.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.familyFor(name, help, kindCounter, nil, nil)
+	return f.getOrCreate("", func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or returns) the unlabeled gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.familyFor(name, help, kindGauge, nil, nil)
+	return f.getOrCreate("", func() any { return new(Gauge) }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time (e.g.
+// a cache hit ratio derived from two counters). fn must be safe for
+// concurrent use; it is invoked with no registry locks held.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.familyFor(name, help, kindGauge, nil, nil)
+	f.getOrCreate("", func() any { return fn })
+}
+
+// Histogram registers (or returns) the unlabeled histogram with the given
+// bucket upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	f := r.familyFor(name, help, kindHistogram, nil, bounds)
+	return f.getOrCreate("", func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct {
+	fam *family
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.familyFor(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (one per label name,
+// in declaration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := labelKey(v.fam.labels, values)
+	return v.fam.getOrCreate(key, func() any { return new(Counter) }).(*Counter)
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct {
+	fam *family
+}
+
+// HistogramVec registers (or returns) a labeled histogram family with the
+// given bucket upper bounds (nil means DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{fam: r.familyFor(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := labelKey(v.fam.labels, values)
+	return v.fam.getOrCreate(key, func() any { return newHistogram(v.fam.bounds) }).(*Histogram)
+}
+
+// labelKey renders label pairs as `name="value",...` (no surrounding
+// braces; exposition adds those, splicing in the histogram "le" label when
+// needed). The number of values must match the declared label names.
+func labelKey(names, values []string) string {
+	if len(names) != len(values) {
+		panic(fmt.Sprintf("obs: %d label values for %d label names", len(values), len(names)))
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// snapshot copies the family and series structure under the locks, so
+// rendering (including GaugeFunc calls) runs lock-free afterwards.
+func (r *Registry) snapshot() []*famSnap {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]*famSnap, 0, len(fams))
+	for _, f := range fams {
+		s := &famSnap{name: f.name, help: f.help, kind: f.kind, bounds: f.bounds}
+		f.mu.Lock()
+		for key, m := range f.series {
+			s.series = append(s.series, seriesSnap{key: key, metric: m})
+		}
+		f.mu.Unlock()
+		sort.Slice(s.series, func(i, j int) bool { return s.series[i].key < s.series[j].key })
+		out = append(out, s)
+	}
+	return out
+}
+
+// famSnap is a point-in-time copy of one family's series set (the metric
+// values themselves are read during rendering, after every lock is
+// released).
+type famSnap struct {
+	name, help, kind string
+	bounds           []float64
+	series           []seriesSnap
+}
+
+type seriesSnap struct {
+	key    string
+	metric any
+}

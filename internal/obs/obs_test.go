@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestCounterAddRejectsNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5 (negative Add must be ignored)", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 10} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-16.7) > 1e-9 {
+		t.Fatalf("sum = %g, want 16.7", got)
+	}
+	cum, _, _ := h.snapshotCumulative()
+	want := []int64{1, 3, 4, 5} // le=1, le=2, le=5, +Inf (cumulative)
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative bucket %d = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := newHistogram([]float64{1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+	if got := h.Sum(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("sum = %g, want 2000", got)
+	}
+	h.ObserveDuration(1500 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-2001.5) > 1e-6 {
+		t.Fatalf("sum after ObserveDuration = %g, want 2001.5", got)
+	}
+}
+
+// newFullRegistry builds a registry exercising every metric shape.
+func newFullRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("demo_total", "a counter").Add(3)
+	r.Gauge("demo_level", "a gauge").Set(-2)
+	r.GaugeFunc("demo_ratio", "a derived gauge", func() float64 { return 0.25 })
+	r.Histogram("demo_seconds", "a histogram", []float64{1, 2}).Observe(1.5)
+	rv := r.CounterVec("demo_routes_total", "a labeled counter", "route", "code")
+	rv.With("/v1/far", "200").Inc()
+	rv.With("/v1/far", "200").Inc()
+	rv.With("/healthz", "200").Inc()
+	r.HistogramVec("demo_route_seconds", "a labeled histogram", []float64{1}, "route").With("/v1/far").Observe(0.5)
+	return r
+}
+
+func TestWritePrometheusDeterministicAndComplete(t *testing.T) {
+	r := newFullRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two renders of the same state differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{
+		"# TYPE demo_total counter",
+		"demo_total 3",
+		"demo_level -2",
+		"demo_ratio 0.25",
+		`demo_routes_total{route="/healthz",code="200"} 1`,
+		`demo_routes_total{route="/v1/far",code="200"} 2`,
+		`demo_seconds_bucket{le="2"} 1`,
+		`demo_seconds_bucket{le="+Inf"} 1`,
+		"demo_seconds_sum 1.5",
+		"demo_seconds_count 1",
+		`demo_route_seconds_bucket{route="/v1/far",le="1"} 1`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestWriteVars(t *testing.T) {
+	r := newFullRegistry()
+	r.GaugeFunc("demo_nan", "NaN must encode as null", func() float64 { return math.NaN() })
+	var buf bytes.Buffer
+	if err := r.WriteVars(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &vars); err != nil {
+		t.Fatalf("WriteVars produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got := vars["demo_total"]; got != float64(3) {
+		t.Errorf("demo_total = %v, want 3", got)
+	}
+	if v, present := vars["demo_nan"]; !present || v != nil {
+		t.Errorf("demo_nan = %v (present=%t), want null", v, present)
+	}
+	h, ok := vars["demo_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("demo_seconds = %T, want histogram object", vars["demo_seconds"])
+	}
+	if h["count"] != float64(1) {
+		t.Errorf("demo_seconds.count = %v, want 1", h["count"])
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same", "help")
+	a.Inc()
+	b := r.Counter("same", "help")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different instance")
+	}
+	if b.Value() != 1 {
+		t.Fatalf("value = %d, want 1", b.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("clash", "help")
+}
+
+func TestLabelCountMismatchPanics(t *testing.T) {
+	v := NewRegistry().CounterVec("vec_total", "help", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With with the wrong label count did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "help", "v").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped series %q missing from:\n%s", want, buf.String())
+	}
+}

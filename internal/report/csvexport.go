@@ -11,54 +11,83 @@ import (
 	"repro/internal/dataset"
 )
 
+// CSVExport is one machine-readable exhibit family: a stable name (the
+// file stem and the whpcd /v1/csv/{name} route segment), a human-readable
+// title, and the row producer. Rows returns a header row followed by data
+// rows, values unrounded.
+type CSVExport struct {
+	Name  string
+	Title string
+	Rows  func() ([][]string, error)
+}
+
+// CSVExports enumerates the exportable exhibit families for a corpus in a
+// fixed order. ExportCSVs and the whpcd CSV endpoint both iterate this
+// single list, so a new family added here appears in both automatically.
+func CSVExports(d *dataset.Dataset) []CSVExport {
+	return []CSVExport{
+		{"far_per_conference", "Female author ratio per conference", func() ([][]string, error) { return farRows(d) }},
+		{"role_representation", "Representation of women by conference role", func() ([][]string, error) { return roleRows(d) }},
+		{"countries", "Representation of women by country", func() ([][]string, error) { return countryRows(d) }},
+		{"regions", "Authors and PC members by region", func() ([][]string, error) { return regionRows(d) }},
+		{"sectors", "Representation of women by work sector", func() ([][]string, error) { return sectorRows(d) }},
+		{"experience_bands", "Experience-band stratification", func() ([][]string, error) { return bandRows(d) }},
+		{"citations", "Per-paper citation reception", func() ([][]string, error) { return citationRows(d) }},
+		{"trend", "Flagship FAR time series", func() ([][]string, error) { return trendRows(d) }},
+	}
+}
+
+// CSVExportByName returns the export family with the given name, or
+// ok=false for an unknown name.
+func CSVExportByName(d *dataset.Dataset, name string) (CSVExport, bool) {
+	for _, e := range CSVExports(d) {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return CSVExport{}, false
+}
+
 // ExportCSVs writes the paper's exhibits as machine-readable CSV files
 // into dir — the results-artifact counterpart to the corpus CSVs: one file
-// per exhibit family, values unrounded.
+// per exhibit family from CSVExports, named <family>.csv.
 func ExportCSVs(dir string, d *dataset.Dataset, scID dataset.ConfID) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return fmt.Errorf("report: creating export dir %s: %w", dir, err)
 	}
-	exports := []struct {
-		file string
-		fn   func() ([][]string, error)
-	}{
-		{"far_per_conference.csv", func() ([][]string, error) { return farRows(d) }},
-		{"role_representation.csv", func() ([][]string, error) { return roleRows(d) }},
-		{"countries.csv", func() ([][]string, error) { return countryRows(d) }},
-		{"regions.csv", func() ([][]string, error) { return regionRows(d) }},
-		{"sectors.csv", func() ([][]string, error) { return sectorRows(d) }},
-		{"experience_bands.csv", func() ([][]string, error) { return bandRows(d) }},
-		{"citations.csv", func() ([][]string, error) { return citationRows(d) }},
-		{"trend.csv", func() ([][]string, error) { return trendRows(d) }},
-	}
-	for _, e := range exports {
-		rows, err := e.fn()
+	for _, e := range CSVExports(d) {
+		rows, err := e.Rows()
 		if err != nil {
-			return fmt.Errorf("report: exporting %s: %w", e.file, err)
+			return fmt.Errorf("report: exporting %s: %w", e.Name, err)
 		}
-		if err := writeCSV(filepath.Join(dir, e.file), rows); err != nil {
+		if err := writeCSV(filepath.Join(dir, e.Name+".csv"), rows); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeCSV writes rows to path, naming the path in every failure so a
+// mid-export error identifies which CSV died.
 func writeCSV(path string, rows [][]string) error {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("report: creating %s: %w", path, err)
 	}
 	w := csv.NewWriter(f)
 	if err := w.WriteAll(rows); err != nil {
 		_ = f.Close()
-		return err
+		return fmt.Errorf("report: writing %s: %w", path, err)
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
 		_ = f.Close()
-		return err
+		return fmt.Errorf("report: flushing %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("report: closing %s: %w", path, err)
+	}
+	return nil
 }
 
 func ftoa(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Cache outcomes, exposed to clients in the X-Cache response header and to
+// the access log.
+const (
+	// CacheHit: the bytes were already resident.
+	CacheHit = "hit"
+	// CacheMiss: this request rendered the exhibit.
+	CacheMiss = "miss"
+	// CacheCoalesced: another in-flight request was already rendering the
+	// same exhibit; this one waited for its bytes (singleflight).
+	CacheCoalesced = "coalesced"
+)
+
+// ExhibitCache memoizes rendered exhibit bytes under an LRU bound, with
+// singleflight deduplication: concurrent requests for the same uncached key
+// trigger exactly one render. Because every exhibit render is deterministic
+// for a given study, a cached response is byte-identical to a fresh one —
+// the cache changes latency, never content.
+type ExhibitCache struct {
+	flight group
+
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used; values are *cacheEntry
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+	resident  *obs.Gauge
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// cacheCounters bundles the cache's metrics; any field may be nil.
+type cacheCounters struct {
+	hits, misses, coalesced, evictions *obs.Counter
+	resident                           *obs.Gauge
+}
+
+// NewExhibitCache returns a cache bounded to capacity rendered exhibits
+// (minimum 1).
+func NewExhibitCache(capacity int, c cacheCounters) *ExhibitCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if c.hits == nil {
+		c.hits = new(obs.Counter)
+	}
+	if c.misses == nil {
+		c.misses = new(obs.Counter)
+	}
+	if c.coalesced == nil {
+		c.coalesced = new(obs.Counter)
+	}
+	if c.evictions == nil {
+		c.evictions = new(obs.Counter)
+	}
+	if c.resident == nil {
+		c.resident = new(obs.Gauge)
+	}
+	return &ExhibitCache{
+		cap:       capacity,
+		entries:   make(map[string]*list.Element),
+		lru:       list.New(),
+		hits:      c.hits,
+		misses:    c.misses,
+		coalesced: c.coalesced,
+		evictions: c.evictions,
+		resident:  c.resident,
+	}
+}
+
+// Get returns the bytes for key, invoking compute at most once across all
+// concurrent callers that miss. outcome is one of CacheHit, CacheMiss, and
+// CacheCoalesced. Callers must not mutate the returned slice. The misses
+// counter increments exactly when compute actually runs, so it doubles as
+// the render count. Errors are returned to every coalesced caller and
+// never cached.
+func (c *ExhibitCache) Get(key string, compute func() ([]byte, error)) (val []byte, outcome string, err error) {
+	if b, ok := c.lookup(key); ok {
+		c.hits.Inc()
+		return b, CacheHit, nil
+	}
+	computed := false
+	val, shared, err := c.flight.Do(key, func() ([]byte, error) {
+		// Re-check under the flight: a render that completed between our
+		// lookup and Do has already inserted the bytes.
+		if b, ok := c.lookup(key); ok {
+			return b, nil
+		}
+		computed = true
+		c.misses.Inc()
+		b, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		c.insert(key, b)
+		return b, nil
+	})
+	if err != nil {
+		return nil, CacheMiss, err
+	}
+	switch {
+	case shared:
+		c.coalesced.Inc()
+		return val, CacheCoalesced, nil
+	case computed:
+		return val, CacheMiss, nil
+	default:
+		c.hits.Inc()
+		return val, CacheHit, nil
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *ExhibitCache) Len() int {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return n
+}
+
+// Purge drops every resident entry (used by benchmarks to measure cold
+// renders); in-flight computes are unaffected.
+func (c *ExhibitCache) Purge() {
+	c.mu.Lock()
+	c.entries = make(map[string]*list.Element)
+	c.lru = list.New()
+	c.resident.Set(0)
+	c.mu.Unlock()
+}
+
+// lookup returns the cached bytes for key, refreshing its recency.
+func (c *ExhibitCache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	b := el.Value.(*cacheEntry).val
+	c.mu.Unlock()
+	return b, true
+}
+
+// insert stores key's bytes, evicting least-recently-used entries over
+// capacity.
+func (c *ExhibitCache) insert(key string, val []byte) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		c.mu.Unlock()
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: val})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.resident.Set(int64(c.lru.Len()))
+	c.mu.Unlock()
+}

@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/faulty"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// parseStudyKey reads the seed, corpus, and profile query parameters,
+// falling back to the server defaults. Invalid values return an error the
+// handler reports as 400.
+func (s *Server) parseStudyKey(r *http.Request) (StudyKey, error) {
+	q := r.URL.Query()
+	key := StudyKey{Seed: s.cfg.DefaultSeed, Corpus: CorpusDefault, Profile: s.cfg.DefaultProfile}
+	if key.Profile == "none" {
+		key.Profile = ""
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return key, fmt.Errorf("invalid seed %q: want an unsigned integer", v)
+		}
+		key.Seed = n
+	}
+	if v := q.Get("corpus"); v != "" {
+		switch v {
+		case CorpusDefault, CorpusFlagship, CorpusExtended:
+			key.Corpus = v
+		default:
+			return key, fmt.Errorf("unknown corpus %q (have %v)", v, Corpora())
+		}
+	}
+	if v := q.Get("profile"); v != "" {
+		if v == "none" {
+			key.Profile = ""
+		} else {
+			if _, err := faulty.ByName(v); err != nil {
+				return key, err
+			}
+			key.Profile = v
+		}
+	}
+	return key, nil
+}
+
+// study resolves the request's study, writing the error response itself
+// (400 for bad parameters, 500 for a failed materialization) and returning
+// ok=false when the handler should bail.
+func (s *Server) study(w http.ResponseWriter, r *http.Request) (*repro.Study, StudyKey, bool) {
+	key, err := s.parseStudyKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, key, false
+	}
+	st, err := s.studies.Get(key)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("materializing study (%s): %v", key, err), http.StatusInternalServerError)
+		return nil, key, false
+	}
+	return st, key, true
+}
+
+// serveCached answers the request from the exhibit cache, rendering with
+// compute on a miss. The cache key must uniquely determine the bytes (it
+// embeds the study key and route); the X-Cache header reports hit, miss, or
+// coalesced. Render time for actual computes feeds whpcd_render_seconds.
+func (s *Server) serveCached(w http.ResponseWriter, cacheKey, contentType string, compute func() ([]byte, error)) {
+	body, outcome, err := s.cache.Get(cacheKey, func() ([]byte, error) {
+		start := s.clock.Now()
+		b, err := compute()
+		s.met.renders.ObserveDuration(s.clock.Now().Sub(start))
+		return b, err
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrNotApplicable) {
+			http.Error(w, fmt.Sprintf("not applicable to this corpus: %v", err), http.StatusUnprocessableEntity)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	h.Set("X-Cache", outcome)
+	_, _ = w.Write(body)
+}
+
+// marshalJSON renders v with a trailing newline, matching curl-friendly
+// output.
+func marshalJSON(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// --- DTOs -------------------------------------------------------------
+
+// studyDTO names the study a JSON payload was computed from.
+type studyDTO struct {
+	Seed    uint64 `json:"seed"`
+	Corpus  string `json:"corpus"`
+	Profile string `json:"profile"`
+}
+
+func dtoStudy(key StudyKey) studyDTO {
+	p := key.Profile
+	if p == "" {
+		p = "none"
+	}
+	return studyDTO{Seed: key.Seed, Corpus: key.Corpus, Profile: p}
+}
+
+// proportionDTO is a k-of-n proportion; ratio is null when no trials carry
+// known gender (NaN is unrepresentable in JSON).
+type proportionDTO struct {
+	Women int `json:"women"`
+	Known int `json:"known"`
+	Ratio any `json:"ratio"`
+}
+
+func dtoProportion(p stats.Proportion) proportionDTO {
+	d := proportionDTO{Women: p.K, Known: p.N}
+	if r := p.Ratio(); !math.IsNaN(r) {
+		d.Ratio = r
+	}
+	return d
+}
+
+type confFARDTO struct {
+	Conference string        `json:"conference"`
+	Name       string        `json:"name"`
+	FAR        proportionDTO `json:"far"`
+	Unknown    int           `json:"unknown"`
+}
+
+type farDTO struct {
+	Study         studyDTO      `json:"study"`
+	Overall       proportionDTO `json:"overall"`
+	Unknown       int           `json:"unknown"`
+	UniqueAuthors int           `json:"unique_authors"`
+	TotalSlots    int           `json:"total_slots"`
+	PerConference []confFARDTO  `json:"per_conference"`
+}
+
+type roleCellDTO struct {
+	Conference string        `json:"conference"`
+	Name       string        `json:"name"`
+	Role       string        `json:"role"`
+	Ratio      proportionDTO `json:"ratio"`
+}
+
+type roleOverallDTO struct {
+	Role  string        `json:"role"`
+	Ratio proportionDTO `json:"ratio"`
+}
+
+type rolesDTO struct {
+	Study       studyDTO         `json:"study"`
+	Overall     []roleOverallDTO `json:"overall"`
+	Cells       []roleCellDTO    `json:"cells"`
+	OverallLead proportionDTO    `json:"overall_lead"`
+	OverallLast proportionDTO    `json:"overall_last"`
+}
+
+type observationDTO struct {
+	Name        string  `json:"name"`
+	Effect      float64 `json:"effect"`
+	P           float64 `json:"p"`
+	Significant bool    `json:"significant"`
+}
+
+func dtoObservations(obs []core.Observation) []observationDTO {
+	out := make([]observationDTO, 0, len(obs))
+	for _, o := range obs {
+		out = append(out, observationDTO{Name: o.Name, Effect: o.Effect, P: o.P, Significant: o.Significant})
+	}
+	return out
+}
+
+type sensitivityDTO struct {
+	Study        studyDTO         `json:"study"`
+	UnknownCount int              `json:"unknown_count"`
+	Stable       bool             `json:"stable"`
+	Flips        []string         `json:"flips"`
+	Baseline     []observationDTO `json:"baseline"`
+	AllWomen     []observationDTO `json:"all_women"`
+	AllMen       []observationDTO `json:"all_men"`
+}
+
+type exhibitDTO struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// --- handlers ---------------------------------------------------------
+
+// handleHealthz reports liveness; it touches no study so it stays cheap
+// and never blocks on a materialization.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+// handleFAR serves the §3.1 female author ratios as JSON.
+func (s *Server) handleFAR(w http.ResponseWriter, r *http.Request) {
+	st, key, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	s.serveCached(w, "far|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+		far := st.FAR()
+		dto := farDTO{
+			Study:         dtoStudy(key),
+			Overall:       dtoProportion(far.Overall),
+			Unknown:       far.Unknown,
+			UniqueAuthors: far.UniqueN,
+			TotalSlots:    far.TotalSlots,
+			PerConference: make([]confFARDTO, 0, len(far.PerConf)),
+		}
+		for _, c := range far.PerConf {
+			dto.PerConference = append(dto.PerConference, confFARDTO{
+				Conference: string(c.Conf), Name: c.Name,
+				FAR: dtoProportion(c.Ratio), Unknown: c.Unknown,
+			})
+		}
+		return marshalJSON(dto)
+	})
+}
+
+// handleRoles serves the Fig 1 role-representation matrix as JSON. The
+// overall map iterates dataset.Roles() order so the payload is
+// byte-deterministic.
+func (s *Server) handleRoles(w http.ResponseWriter, r *http.Request) {
+	st, key, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	s.serveCached(w, "roles|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+		tab := st.Roles()
+		dto := rolesDTO{
+			Study:       dtoStudy(key),
+			Overall:     make([]roleOverallDTO, 0, len(tab.Overall)),
+			Cells:       make([]roleCellDTO, 0, len(tab.Cells)),
+			OverallLead: dtoProportion(tab.OverallLead),
+			OverallLast: dtoProportion(tab.OverallLast),
+		}
+		for _, role := range dataset.Roles() {
+			if p, ok := tab.Overall[role]; ok {
+				dto.Overall = append(dto.Overall, roleOverallDTO{Role: role.String(), Ratio: dtoProportion(p)})
+			}
+		}
+		for _, c := range tab.Cells {
+			dto.Cells = append(dto.Cells, roleCellDTO{
+				Conference: string(c.Conf), Name: c.Name,
+				Role: c.Role.String(), Ratio: dtoProportion(c.Ratio),
+			})
+		}
+		return marshalJSON(dto)
+	})
+}
+
+// handleSensitivity serves the unknown-gender sensitivity analysis as JSON.
+func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
+	st, key, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	s.serveCached(w, "sensitivity|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+		res, err := st.Sensitivity()
+		if err != nil {
+			return nil, err
+		}
+		dto := sensitivityDTO{
+			Study:        dtoStudy(key),
+			UnknownCount: res.UnknownCount,
+			Stable:       res.Stable,
+			Flips:        res.Flips,
+			Baseline:     dtoObservations(res.Baseline),
+			AllWomen:     dtoObservations(res.AllWomen),
+			AllMen:       dtoObservations(res.AllMen),
+		}
+		if dto.Flips == nil {
+			dto.Flips = []string{}
+		}
+		return marshalJSON(dto)
+	})
+}
+
+// handleExhibitList serves the study's exhibit catalog (IDs and titles).
+func (s *Server) handleExhibitList(w http.ResponseWriter, r *http.Request) {
+	st, key, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	s.serveCached(w, "exhibits|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+		exhibits := st.Exhibits()
+		out := make([]exhibitDTO, 0, len(exhibits))
+		for _, e := range exhibits {
+			out = append(out, exhibitDTO{ID: e.ID, Title: e.Title})
+		}
+		return marshalJSON(struct {
+			Study    studyDTO     `json:"study"`
+			Exhibits []exhibitDTO `json:"exhibits"`
+		}{dtoStudy(key), out})
+	})
+}
+
+// handleExhibit serves one exhibit as text, exactly as WriteReport would
+// print its section body.
+func (s *Server) handleExhibit(w http.ResponseWriter, r *http.Request) {
+	st, key, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	ex, ok := st.Exhibit(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown exhibit %q (list them at /v1/exhibits)", id), http.StatusNotFound)
+		return
+	}
+	s.serveCached(w, "exhibit|"+id+"|"+key.String(), "text/plain; charset=utf-8", func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := ex.Render(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// handleReport serves the complete report — byte-identical to
+// Study.WriteReport on the same study.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	st, key, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	s.serveCached(w, "report|"+key.String(), "text/plain; charset=utf-8", func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := st.WriteReport(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// handleCSV serves one machine-readable exhibit family as CSV; the name
+// segment matches the file stems ExportCSVs writes (with or without the
+// .csv suffix).
+func (s *Server) handleCSV(w http.ResponseWriter, r *http.Request) {
+	st, key, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	name := strings.TrimSuffix(r.PathValue("name"), ".csv")
+	exp, ok := report.CSVExportByName(st.Dataset(), name)
+	if !ok {
+		names := make([]string, 0, 8)
+		for _, e := range report.CSVExports(st.Dataset()) {
+			names = append(names, e.Name)
+		}
+		http.Error(w, fmt.Sprintf("unknown csv export %q (have %v)", name, names), http.StatusNotFound)
+		return
+	}
+	s.serveCached(w, "csv|"+name+"|"+key.String(), "text/csv; charset=utf-8", func() ([]byte, error) {
+		rows, err := exp.Rows()
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		cw := csv.NewWriter(&buf)
+		if err := cw.WriteAll(rows); err != nil {
+			return nil, err
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}

@@ -1,0 +1,46 @@
+package serve
+
+import "sync"
+
+// group is a minimal singleflight: concurrent Do calls with the same key
+// share a single execution of fn. It is the dedup layer under the exhibit
+// cache — 32 simultaneous requests for an uncached report trigger exactly
+// one render, and the other 31 block until its bytes are ready.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// call is one in-flight execution.
+type call struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Do executes fn once per key among concurrent callers, returning the
+// shared result. shared reports whether this caller piggybacked on another
+// caller's execution. fn runs with no group lock held.
+func (g *group) Do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, false, c.err
+}

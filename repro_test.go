@@ -65,6 +65,54 @@ func TestWriteReportCoversEveryExhibit(t *testing.T) {
 	}
 }
 
+// TestExhibitsEnumeration pins the contract the serving layer and CSV
+// exporter key on: stable, unique, URL-safe IDs; titles that appear
+// verbatim as report section headings; lookup by ID; and the two extra
+// harvest exhibits appearing exactly on harvested studies.
+func TestExhibitsEnumeration(t *testing.T) {
+	exhibits := study.Exhibits()
+	if len(exhibits) < 26 {
+		t.Fatalf("only %d exhibits enumerated", len(exhibits))
+	}
+	var report bytes.Buffer
+	if err := study.WriteReport(&report); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(exhibits))
+	for _, ex := range exhibits {
+		if seen[ex.ID] {
+			t.Errorf("duplicate exhibit ID %q", ex.ID)
+		}
+		seen[ex.ID] = true
+		if ex.ID == "" || strings.ContainsAny(ex.ID, " /%?#") {
+			t.Errorf("exhibit ID %q is not URL-safe", ex.ID)
+		}
+		if !strings.Contains(report.String(), "========== "+ex.Title+" ==========") {
+			t.Errorf("exhibit %q title %q not a report section heading", ex.ID, ex.Title)
+		}
+		got, ok := study.Exhibit(ex.ID)
+		if !ok || got.Title != ex.Title {
+			t.Errorf("Exhibit(%q) lookup failed", ex.ID)
+		}
+	}
+	if _, ok := study.Exhibit("no-such-exhibit"); ok {
+		t.Error("Exhibit invented an ID")
+	}
+	if seen["harvest"] || seen["coverage-sensitivity"] {
+		t.Error("unharvested study enumerates harvest exhibits")
+	}
+	harvested, err := NewHarvestedStudy(11, "clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(harvested.Exhibits()); got != len(exhibits)+2 {
+		t.Errorf("harvested study has %d exhibits, want %d", got, len(exhibits)+2)
+	}
+	if _, ok := harvested.Exhibit("coverage-sensitivity"); !ok {
+		t.Error("harvested study missing coverage-sensitivity exhibit")
+	}
+}
+
 // TestReportDeterministicAcrossGOMAXPROCS is the regression test behind the
 // artifact's headline promise: the rendered study is byte-identical for a
 // given seed at any parallelism. It is golden-free — each report is rendered

@@ -31,7 +31,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faulty"
 	"repro/internal/ingest"
-	"repro/internal/report"
 	"repro/internal/synth"
 )
 
@@ -91,6 +90,26 @@ func NewHarvestedStudy(seed uint64, profile string) (*Study, error) {
 // NewHarvestedStudyFromConfig is NewHarvestedStudy over a custom corpus
 // calibration (e.g. synth.FlagshipSeries or synth.ExtendedSystems).
 func NewHarvestedStudyFromConfig(cfg synth.Config, profile string) (*Study, error) {
+	return NewObservedHarvestedStudy(cfg, profile, HarvestHooks{})
+}
+
+// HarvestHooks forwards live harvest telemetry (retries and per-researcher
+// outcomes) to an observer such as the whpcd metrics registry. Callbacks
+// fire concurrently from harvest workers and must be safe for concurrent
+// use; nil funcs are skipped. Hooks observe the run without influencing it,
+// so an observed harvest stays byte-identical to an unobserved one.
+type HarvestHooks struct {
+	// OnRetry fires once per retried bibliometric lookup attempt.
+	OnRetry func()
+	// OnOutcome fires once per researcher with the final outcome name
+	// (linked-gs, fallback-s2, s2-only, abandoned).
+	OnOutcome func(outcome string)
+}
+
+// NewObservedHarvestedStudy is NewHarvestedStudyFromConfig with live
+// telemetry: the hooks see every retry and outcome as the harvest workers
+// progress, rather than only the aggregate HarvestReport at the end.
+func NewObservedHarvestedStudy(cfg synth.Config, profile string, hooks HarvestHooks) (*Study, error) {
 	prof, err := faulty.ByName(profile)
 	if err != nil {
 		return nil, err
@@ -99,7 +118,11 @@ func NewHarvestedStudyFromConfig(cfg synth.Config, profile string) (*Study, erro
 	if err != nil {
 		return nil, err
 	}
-	h, err := ingest.New(corpus.GS, corpus.S2, ingest.Config{Seed: cfg.Seed, Profile: prof})
+	icfg := ingest.Config{Seed: cfg.Seed, Profile: prof, Hooks: ingest.Hooks{OnRetry: hooks.OnRetry}}
+	if hooks.OnOutcome != nil {
+		icfg.Hooks.OnOutcome = func(o ingest.Outcome) { hooks.OnOutcome(o.String()) }
+	}
+	h, err := ingest.New(corpus.GS, corpus.S2, icfg)
 	if err != nil {
 		return nil, err
 	}
@@ -337,57 +360,13 @@ func ReplicateDefault(n int, baseSeed uint64) (core.ReplicationStudy, error) {
 }
 
 // WriteReport renders the complete paper reproduction — every table and
-// figure — to w.
+// figure — to w, iterating the Exhibits enumeration in order.
 func (s *Study) WriteReport(w io.Writer) error {
-	type section struct {
-		title string
-		fn    func(io.Writer) error
-	}
-	sections := []section{
-		{"Table 1 — Conferences", func(w io.Writer) error { return report.Table1(w, s.data) }},
-		{"Conference profiles", func(w io.Writer) error { return report.ConferenceProfiles(w, s.data) }},
-		{"§2 — Google Scholar linkage", func(w io.Writer) error { return report.Linkage(w, s.data) }},
-		{"Fig 1 — Representation of women across conference roles", func(w io.Writer) error { return report.Fig1(w, s.data) }},
-		{"§3.1 — Authors", func(w io.Writer) error { return report.Sec31(w, s.data) }},
-		{"§3.2 — Program committee", func(w io.Writer) error { return report.Sec32(w, s.data, s.scID) }},
-		{"§3.3 — Visible roles", func(w io.Writer) error { return report.Sec33(w, s.data) }},
-		{"§3.4 — Flagship time series", func(w io.Writer) error { return report.Sec34(w, s.data) }},
-		{"§4.1 — HPC-only topic subset", func(w io.Writer) error { return report.Sec41(w, s.data) }},
-		{"§4.2 / Fig 2 — Paper reception", func(w io.Writer) error { return report.Fig2(w, s.data) }},
-		{"Fig 3 — Past publications (Google Scholar)", func(w io.Writer) error {
-			return report.ExperienceFig(w, s.data, core.MetricGSPublications)
-		}},
-		{"Fig 4 — h-index", func(w io.Writer) error { return report.ExperienceFig(w, s.data, core.MetricHIndex) }},
-		{"Fig 5 — Past publications (Semantic Scholar)", func(w io.Writer) error {
-			return report.ExperienceFig(w, s.data, core.MetricS2Publications)
-		}},
-		{"Fig 6 — Experience bands", func(w io.Writer) error { return report.Fig6(w, s.data) }},
-		{"Table 2 — Top countries", func(w io.Writer) error { return report.Table2(w, s.data) }},
-		{"Fig 7 — Country representation", func(w io.Writer) error { return report.Fig7(w, s.data) }},
-		{"Table 3 — Regions by role", func(w io.Writer) error { return report.Table3(w, s.data) }},
-		{"Fig 8 — Sector representation", func(w io.Writer) error { return report.Fig8(w, s.data) }},
-		{"Sensitivity — unknown-gender forcing", func(w io.Writer) error { return report.Sensitivity(w, s.data, s.scID) }},
-		{"Extension — collaboration patterns by gender", func(w io.Writer) error { return report.Collaboration(w, s.data) }},
-		{"Extension — multiplicity correction (Holm)", func(w io.Writer) error { return report.Multiplicity(w, s.data, s.scID) }},
-		{"Extension — FAR trend regressions", func(w io.Writer) error { return report.TrendRegressionsSection(w, s.data) }},
-		{"Extension — diversity-policy contrast", func(w io.Writer) error { return report.Policy(w, s.data) }},
-		{"Extension — reception over time", func(w io.Writer) error { return report.Trajectory(w, s.data) }},
-		{"Extension — distribution gaps (Kolmogorov-Smirnov)", func(w io.Writer) error { return report.DistributionGaps(w, s.data) }},
-		{"Extension — FAR by systems subfield", func(w io.Writer) error { return report.Subfields(w, s.data) }},
-	}
-	if s.harvest != nil {
-		sections = append(sections,
-			section{"Harvest — resilient ingestion", func(w io.Writer) error { return report.Harvest(w, s.harvest) }},
-			section{"Sensitivity — degraded coverage", func(w io.Writer) error {
-				return report.CoverageSensitivity(w, s.baseline, s.data, s.scID)
-			}},
-		)
-	}
-	for _, sec := range sections {
-		if _, err := fmt.Fprintf(w, "\n========== %s ==========\n", sec.title); err != nil {
+	for _, ex := range s.Exhibits() {
+		if _, err := fmt.Fprintf(w, "\n========== %s ==========\n", ex.Title); err != nil {
 			return err
 		}
-		err := sec.fn(w)
+		err := ex.Render(w)
 		if errors.Is(err, core.ErrNotApplicable) {
 			// Corpora differ in scope (the flagship series has no
 			// single-blind venue, a custom corpus may carry no topic
@@ -398,7 +377,7 @@ func (s *Study) WriteReport(w io.Writer) error {
 			continue
 		}
 		if err != nil {
-			return fmt.Errorf("repro: rendering %q: %w", sec.title, err)
+			return fmt.Errorf("repro: rendering %q: %w", ex.Title, err)
 		}
 	}
 	return nil
