@@ -5,7 +5,7 @@
 // Usage:
 //
 //	whpc [-seed N] [-load DIR] [-save DIR] [-flagship] [-fault-profile NAME]
-//	     [-list] [-exhibit ID]
+//	     [-list] [-exhibit ID] [-query SPEC]
 //
 // With -flagship the §3.4 SC/ISC 2016-2020 corpus is used instead of the
 // main nine-conference 2017 corpus. -save writes the corpus CSVs before
@@ -16,18 +16,23 @@
 // sections to the report; it cannot be combined with -load (a saved
 // corpus carries no live services to harvest). -list prints the stable
 // exhibit IDs and titles; -exhibit renders a single exhibit instead of the
-// whole report.
+// whole report. -query runs an ad-hoc columnar query (inline JSON, or
+// @file to read the spec from a file; see the README's Querying section)
+// and prints the result in the spec's format — json by default, csv on
+// request.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro"
 	"repro/internal/faulty"
+	"repro/internal/query"
 	"repro/internal/report"
 	"repro/internal/synth"
 )
@@ -43,15 +48,17 @@ func main() {
 		"harvest the bibliometric services under a fault profile ("+strings.Join(faulty.ProfileNames(), ", ")+")")
 	list := flag.Bool("list", false, "list the exhibit IDs and titles instead of reporting")
 	exhibit := flag.String("exhibit", "", "render only the exhibit with this ID")
+	querySpec := flag.String("query", "",
+		"run an ad-hoc columnar query instead of reporting (inline JSON, or @file to read the spec from a file)")
 	flag.Parse()
 
-	if err := run(*seed, *load, *save, *csvOut, *flagship, *extended, *faultProfile, *list, *exhibit); err != nil {
+	if err := run(*seed, *load, *save, *csvOut, *flagship, *extended, *faultProfile, *list, *exhibit, *querySpec); err != nil {
 		fmt.Fprintln(os.Stderr, "whpc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultProfile string, list bool, exhibit string) error {
+func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultProfile string, list bool, exhibit, querySpec string) error {
 	var study *repro.Study
 	var err error
 	switch {
@@ -92,6 +99,10 @@ func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultP
 	}
 	w := bufio.NewWriter(os.Stdout)
 	switch {
+	case querySpec != "":
+		if err := runQuery(w, study, querySpec); err != nil {
+			return err
+		}
 	case list:
 		for _, ex := range study.Exhibits() {
 			fmt.Fprintf(w, "%-28s %s\n", ex.ID, ex.Title)
@@ -110,4 +121,39 @@ func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultP
 		}
 	}
 	return w.Flush()
+}
+
+// runQuery parses the -query spec (inline JSON, or @file) and writes the
+// result in the spec's requested format.
+func runQuery(w io.Writer, study *repro.Study, spec string) error {
+	raw := []byte(spec)
+	if strings.HasPrefix(spec, "@") {
+		b, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return fmt.Errorf("reading query spec: %w", err)
+		}
+		raw = b
+	}
+	q, err := query.Parse(raw)
+	if err != nil {
+		return err
+	}
+	res, err := study.Query(q)
+	if err != nil {
+		return err
+	}
+	body, _, err := res.Encode(q.Format)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	// JSON results have no trailing newline; keep shell output tidy.
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -104,12 +104,17 @@ func (s *Study) Exhibits() []Exhibit {
 
 // Exhibit returns the exhibit with the given stable ID, or ok=false when
 // the study has no exhibit by that name (harvest exhibits exist only on
-// harvested studies).
+// harvested studies). The ID index is built once per study — the serve
+// layer resolves an exhibit per request, and a linear re-enumeration of
+// Exhibits() (which rebuilds every closure) was measurable on that path.
 func (s *Study) Exhibit(id string) (Exhibit, bool) {
-	for _, e := range s.Exhibits() {
-		if e.ID == id {
-			return e, true
+	s.exhibitsOnce.Do(func() {
+		exhibits := s.Exhibits()
+		s.exhibitsByID = make(map[string]Exhibit, len(exhibits))
+		for _, e := range exhibits {
+			s.exhibitsByID[e.ID] = e
 		}
-	}
-	return Exhibit{}, false
+	})
+	e, ok := s.exhibitsByID[id]
+	return e, ok
 }

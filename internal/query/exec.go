@@ -1,0 +1,933 @@
+package query
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// partitionRows is the fixed partition width. It is deliberately
+// independent of GOMAXPROCS: workers race to claim partitions, but the
+// merge walks partitions in index order, so the result is byte-identical
+// no matter how the claims landed. 1024 keeps several partitions in play
+// even on the default nine-conference corpus (~3.6k slot rows).
+const partitionRows = 1024
+
+// accCell is one aggregate accumulator. The field roles depend on the
+// aggregate kind: count uses n; sum/min/max/first use i or f by column
+// type; mean uses n+f; ratio uses n (num hits) and i (den hits).
+type accCell struct {
+	n   int64
+	i   int64
+	f   float64
+	set bool
+}
+
+// groupAcc is one group's key tokens plus one accumulator per aggregate.
+type groupAcc struct {
+	tokens []uint64
+	cells  []accCell
+}
+
+// accSet accumulates groups for one partition (and, merged, for the whole
+// scan). Groups keep first-appearance order; the dense path indexes a flat
+// array when the key domain is small, otherwise keys are byte-encoded.
+type accSet struct {
+	p      *plan
+	dense  []*groupAcc // nil when sparse
+	sparse map[string]*groupAcc
+	order  []*groupAcc
+	// welch sample buffers, in row order within the partition.
+	cmp [2][]float64
+
+	strides []uint64 // dense strides per key
+	scratch []byte   // sparse key encoding buffer
+}
+
+// denseLimit bounds the flat-array fast path for small key domains.
+const denseLimit = 1 << 16
+
+// newAccSet sizes an accumulator set for the plan.
+func newAccSet(p *plan) *accSet {
+	a := &accSet{p: p}
+	if size, strides, ok := denseLayout(p); ok {
+		a.dense = make([]*groupAcc, size)
+		a.strides = strides
+	} else {
+		a.sparse = make(map[string]*groupAcc)
+		a.scratch = make([]byte, 8*len(p.keys))
+	}
+	return a
+}
+
+// denseLayout computes flat-array strides when every key has a small
+// finite token domain (strings: dictionary size + null; bools: 3).
+func denseLayout(p *plan) (size int, strides []uint64, ok bool) {
+	size = 1
+	strides = make([]uint64, len(p.keys))
+	for i := len(p.keys) - 1; i >= 0; i-- {
+		var domain int
+		switch p.keys[i].col.Type {
+		case TStr:
+			domain = p.keys[i].col.Dict.Len() + 1
+		case TBool:
+			domain = 3
+		default:
+			return 0, nil, false
+		}
+		strides[i] = uint64(size)
+		size *= domain
+		if size > denseLimit {
+			return 0, nil, false
+		}
+	}
+	return size, strides, true
+}
+
+// token computes the group-key token of one row: 0 for null, otherwise a
+// value-stable non-zero token per column type.
+func token(col *Column, row int) uint64 {
+	if !col.valid(row) {
+		return 0
+	}
+	switch col.Type {
+	case TStr:
+		return uint64(col.Codes[row]) + 1
+	case TBool:
+		if col.Bools.Get(row) {
+			return 2
+		}
+		return 1
+	default:
+		return intToken(col.Ints[row])
+	}
+}
+
+// group finds or creates the accumulator for a token tuple.
+func (a *accSet) group(tokens []uint64) *groupAcc {
+	if a.dense != nil {
+		idx := uint64(0)
+		for i, t := range tokens {
+			idx += t * a.strides[i]
+		}
+		g := a.dense[idx]
+		if g == nil {
+			g = &groupAcc{tokens: append([]uint64(nil), tokens...), cells: make([]accCell, len(a.p.aggs))}
+			a.dense[idx] = g
+			a.order = append(a.order, g)
+		}
+		return g
+	}
+	for i, t := range tokens {
+		binary.LittleEndian.PutUint64(a.scratch[i*8:], t)
+	}
+	g := a.sparse[string(a.scratch)]
+	if g == nil {
+		g = &groupAcc{tokens: append([]uint64(nil), tokens...), cells: make([]accCell, len(a.p.aggs))}
+		a.sparse[string(a.scratch)] = g
+		a.order = append(a.order, g)
+	}
+	return g
+}
+
+// lookup finds an existing group without creating one.
+func (a *accSet) lookup(tokens []uint64) *groupAcc {
+	if a.dense != nil {
+		idx := uint64(0)
+		for i, t := range tokens {
+			idx += t * a.strides[i]
+		}
+		return a.dense[idx]
+	}
+	for i, t := range tokens {
+		binary.LittleEndian.PutUint64(a.scratch[i*8:], t)
+	}
+	return a.sparse[string(a.scratch)]
+}
+
+// setPrefix sets the first n bits of out.
+func setPrefix(out Bitmap, n int) {
+	for w := 0; w*64 < n; w++ {
+		out[w] = ^uint64(0)
+	}
+	maskTail(out, n)
+}
+
+// maskTail clears bits at positions >= n.
+func maskTail(out Bitmap, n int) {
+	if rem := n & 63; rem != 0 {
+		out[n>>6] &= (1 << uint(rem)) - 1
+	}
+	for w := (n + 63) / 64; w < len(out); w++ {
+		out[w] = 0
+	}
+}
+
+// leafBits ORs the rows of [lo, hi) matching l into out (bit i-lo).
+// Columnar evaluation: each leaf is one tight loop over its column — the
+// typed switch runs once per partition, not once per row. lo is always a
+// multiple of 64 (partitionRows is), so bool columns reduce to word ops.
+func leafBits(l *leaf, lo, hi int, out Bitmap) {
+	n := hi - lo
+	switch {
+	case l.op == opNull:
+		if l.col.Valid == nil {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			if !l.col.Valid.Get(i) {
+				out.Set(i - lo)
+			}
+		}
+	case l.op == opNotNull:
+		if l.col.Valid == nil {
+			setPrefix(out, n)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			if l.col.Valid.Get(i) {
+				out.Set(i - lo)
+			}
+		}
+	case l.col.Type == TBool:
+		want := l.b
+		if l.op == opNe {
+			want = !want
+		}
+		base := lo >> 6
+		for w := 0; w*64 < n; w++ {
+			word := l.col.Bools[base+w]
+			if !want {
+				word = ^word
+			}
+			if l.col.Valid != nil {
+				word &= l.col.Valid[base+w]
+			}
+			out[w] |= word
+		}
+		// Complementing may set garbage past row n-1; no other leaf sets
+		// bits there, so masking restores the invariant.
+		maskTail(out, n)
+	case l.col.Type == TStr && l.op == opEq:
+		if !l.codeOK {
+			return
+		}
+		codes := l.col.Codes
+		if l.col.Valid == nil {
+			for i := lo; i < hi; i++ {
+				if codes[i] == l.code {
+					out.Set(i - lo)
+				}
+			}
+			return
+		}
+		for i := lo; i < hi; i++ {
+			if codes[i] == l.code && l.col.Valid.Get(i) {
+				out.Set(i - lo)
+			}
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			if l.match(i) {
+				out.Set(i - lo)
+			}
+		}
+	}
+}
+
+// filterBits evaluates an AND-of-ORs filter over [lo, hi) into sel, using
+// tmp as scratch. A nil/empty filter selects every row.
+func filterBits(filter []orGroup, lo, hi int, sel, tmp Bitmap) {
+	n := hi - lo
+	setPrefix(sel, n)
+	for gi := range filter {
+		for w := range tmp {
+			tmp[w] = 0
+		}
+		g := filter[gi]
+		for li := range g {
+			leafBits(&g[li], lo, hi, tmp)
+		}
+		for w := range sel {
+			sel[w] &= tmp[w]
+		}
+	}
+}
+
+// denseIndex computes each row's flat dense-array index for rows [lo, hi)
+// by folding stride-weighted key tokens one column at a time — the typed
+// switch runs per key, not per row, and the selected-row loop then groups
+// with a single slice index. Dense layout admits only string and bool keys.
+func denseIndex(p *plan, strides []uint64, lo, hi int, idx []uint32) {
+	for ki := range p.keys {
+		col := p.keys[ki].col
+		stride := uint32(strides[ki])
+		switch col.Type {
+		case TStr:
+			codes := col.Codes
+			if col.Valid == nil {
+				for i := range idx {
+					idx[i] += uint32(codes[lo+i]+1) * stride
+				}
+				continue
+			}
+			for i := range idx {
+				if col.Valid.Get(lo + i) {
+					idx[i] += uint32(codes[lo+i]+1) * stride
+				}
+			}
+		case TBool:
+			for i := range idx {
+				row := lo + i
+				if col.Valid != nil && !col.Valid.Get(row) {
+					continue
+				}
+				t := uint32(1)
+				if col.Bools.Get(row) {
+					t = 2
+				}
+				idx[i] += t * stride
+			}
+		}
+	}
+}
+
+// accumulate folds row into one group's cells. rel is the row's bit index
+// within the partition; aggSel[i], when non-nil, is the pre-evaluated
+// bitmap of agg i's where-filter.
+func accumulate(aggs []aggOp, aggSel []Bitmap, g *groupAcc, row, rel int) {
+	for ai := range aggs {
+		op := &aggs[ai]
+		if aggSel[ai] != nil && !aggSel[ai].Get(rel) {
+			continue
+		}
+		c := &g.cells[ai]
+		switch op.kind {
+		case aCount:
+			if op.col == nil || op.col.valid(row) {
+				c.n++
+			}
+		case aRatio:
+			if op.den.valid(row) && op.den.Bools.Get(row) {
+				c.i++
+			}
+			if op.num.valid(row) && op.num.Bools.Get(row) {
+				c.n++
+			}
+		case aSum:
+			if !op.col.valid(row) {
+				continue
+			}
+			if op.col.Type == TInt {
+				c.i += op.col.Ints[row]
+			} else {
+				c.f += op.col.Floats[row]
+			}
+		case aMean:
+			if !op.col.valid(row) {
+				continue
+			}
+			c.n++
+			if op.col.Type == TInt {
+				c.f += float64(op.col.Ints[row])
+			} else {
+				c.f += op.col.Floats[row]
+			}
+		case aMin, aMax:
+			if !op.col.valid(row) {
+				continue
+			}
+			if op.col.Type == TInt {
+				v := op.col.Ints[row]
+				if !c.set || (op.kind == aMin && v < c.i) || (op.kind == aMax && v > c.i) {
+					c.i, c.set = v, true
+				}
+			} else {
+				v := op.col.Floats[row]
+				if !c.set || (op.kind == aMin && v < c.f) || (op.kind == aMax && v > c.f) {
+					c.f, c.set = v, true
+				}
+			}
+		case aFirst:
+			if c.set || !op.col.valid(row) {
+				continue
+			}
+			c.set = true
+			switch op.col.Type {
+			case TInt:
+				c.i = op.col.Ints[row]
+			case TFloat:
+				c.f = op.col.Floats[row]
+			case TStr:
+				c.i = int64(op.col.Codes[row])
+			case TBool:
+				if op.col.Bools.Get(row) {
+					c.i = 1
+				}
+			}
+		}
+	}
+}
+
+// mergeCell folds a partition cell into the global cell, kind-aware.
+func mergeCell(kind int, dst, src *accCell) {
+	switch kind {
+	case aCount:
+		dst.n += src.n
+	case aRatio:
+		dst.n += src.n
+		dst.i += src.i
+	case aSum:
+		dst.i += src.i
+		dst.f += src.f
+	case aMean:
+		dst.n += src.n
+		dst.f += src.f
+	case aMin:
+		if src.set && (!dst.set || src.i < dst.i || src.f < dst.f) {
+			*dst = *src
+		}
+	case aMax:
+		if src.set && (!dst.set || src.i > dst.i || src.f > dst.f) {
+			*dst = *src
+		}
+	case aFirst:
+		if !dst.set && src.set {
+			*dst = *src
+		}
+	}
+}
+
+// merge folds a partition accumulator set into the global one, preserving
+// the partition's first-appearance group order.
+func (a *accSet) merge(part *accSet) {
+	for _, pg := range part.order {
+		g := a.group(pg.tokens)
+		for ai := range a.p.aggs {
+			mergeCell(a.p.aggs[ai].kind, &g.cells[ai], &pg.cells[ai])
+		}
+	}
+	a.cmp[0] = append(a.cmp[0], part.cmp[0]...)
+	a.cmp[1] = append(a.cmp[1], part.cmp[1]...)
+}
+
+// scanPartition runs the grouped scan over rows [lo, hi): the filter and
+// every aggregate where-filter evaluate column-wise into bitmaps first,
+// then a single pass over the selected bits groups and accumulates.
+func scanPartition(p *plan, a *accSet, lo, hi int) {
+	n := hi - lo
+	words := (n + 63) / 64
+	sel := make(Bitmap, words)
+	tmp := make(Bitmap, words)
+	filterBits(p.where, lo, hi, sel, tmp)
+	aggSel := make([]Bitmap, len(p.aggs))
+	for ai := range p.aggs {
+		if len(p.aggs[ai].where) == 0 {
+			continue
+		}
+		b := make(Bitmap, words)
+		filterBits(p.aggs[ai].where, lo, hi, b, tmp)
+		aggSel[ai] = b
+	}
+	tokens := make([]uint64, len(p.keys))
+	var denseIdx []uint32
+	if a.dense != nil && len(p.keys) > 0 {
+		denseIdx = make([]uint32, n)
+		denseIndex(p, a.strides, lo, hi, denseIdx)
+	}
+	welch := p.compare != nil && p.compare.test == "welch"
+	var cmpIdx [2]uint32
+	if welch && denseIdx != nil {
+		for gi := 0; gi < 2; gi++ {
+			s := uint64(0)
+			for ki, t := range p.compare.tokens[gi] {
+				s += t * a.strides[ki]
+			}
+			cmpIdx[gi] = uint32(s)
+		}
+	}
+	for w := 0; w < words; w++ {
+		word := sel[w]
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			rel := w*64 + bit
+			row := lo + rel
+			var g *groupAcc
+			if denseIdx != nil {
+				di := denseIdx[rel]
+				g = a.dense[di]
+				if g == nil {
+					// Group creation is rare (once per group per partition):
+					// only here are the key tokens materialized per row.
+					for ki := range p.keys {
+						tokens[ki] = token(p.keys[ki].col, row)
+					}
+					g = &groupAcc{tokens: append([]uint64(nil), tokens...), cells: make([]accCell, len(p.aggs))}
+					a.dense[di] = g
+					a.order = append(a.order, g)
+				}
+			} else {
+				for ki := range p.keys {
+					tokens[ki] = token(p.keys[ki].col, row)
+				}
+				g = a.group(tokens)
+			}
+			accumulate(p.aggs, aggSel, g, row, rel)
+			if welch && p.compare.col.valid(row) {
+				for gi := 0; gi < 2; gi++ {
+					match := false
+					if denseIdx != nil {
+						match = denseIdx[rel] == cmpIdx[gi]
+					} else {
+						match = tokensEqual(g.tokens, p.compare.tokens[gi])
+					}
+					if match {
+						if p.compare.col.Type == TInt {
+							a.cmp[gi] = append(a.cmp[gi], float64(p.compare.col.Ints[row]))
+						} else {
+							a.cmp[gi] = append(a.cmp[gi], p.compare.col.Floats[row])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func tokensEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// execGrouped runs the partitioned parallel scan and deterministic merge,
+// returning merged groups in a deterministic order plus the totals row.
+func execGrouped(p *plan) (*accSet, error) {
+	n := p.f.NumRows
+	parts := (n + partitionRows - 1) / partitionRows
+	results := make([]*accSet, parts)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > parts {
+		workers = parts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pi := int(next.Add(1)) - 1
+				if pi >= parts {
+					return
+				}
+				a := newAccSet(p)
+				lo := pi * partitionRows
+				hi := lo + partitionRows
+				if hi > n {
+					hi = n
+				}
+				scanPartition(p, a, lo, hi)
+				results[pi] = a
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Sequential merge in partition-index order: the only ordering that
+	// matters is fixed here, not in the scheduler.
+	global := newAccSet(p)
+	for _, part := range results {
+		global.merge(part)
+	}
+
+	if len(global.order) == 0 && len(p.keys) > 0 && !p.complete {
+		return nil, fmt.Errorf("%w (frame %q)", ErrEmpty, p.f.Name)
+	}
+	if len(p.keys) == 0 {
+		// Global aggregation: guarantee the single output row even when
+		// nothing matched.
+		global.group(make([]uint64, 0))
+	}
+	return global, nil
+}
+
+// completeGroups replaces the observed group list with the full cross
+// product of the key domains (dictionary order for strings, false/true for
+// bools), zero-filling cells for unobserved combinations.
+func completeGroups(p *plan, a *accSet) []*groupAcc {
+	domains := make([][]uint64, len(p.keys))
+	total := 1
+	for ki, k := range p.keys {
+		var d []uint64
+		if k.col.Type == TStr {
+			for c := 0; c < k.col.Dict.Len(); c++ {
+				d = append(d, uint64(c)+1)
+			}
+		} else {
+			d = []uint64{1, 2}
+		}
+		domains[ki] = d
+		total *= len(d)
+	}
+	out := make([]*groupAcc, 0, total)
+	tokens := make([]uint64, len(p.keys))
+	var walk func(ki int)
+	walk = func(ki int) {
+		if ki == len(p.keys) {
+			if g := a.lookup(tokens); g != nil {
+				out = append(out, g)
+			} else {
+				out = append(out, &groupAcc{
+					tokens: append([]uint64(nil), tokens...),
+					cells:  make([]accCell, len(p.aggs)),
+				})
+			}
+			return
+		}
+		for _, t := range domains[ki] {
+			tokens[ki] = t
+			walk(ki + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// cellValue renders an accumulator cell as an output value.
+func cellValue(op *aggOp, c *accCell) Value {
+	switch op.kind {
+	case aCount:
+		return Value{Kind: TInt, I: c.n}
+	case aSum:
+		if op.out == TInt {
+			return Value{Kind: TInt, I: c.i}
+		}
+		return Value{Kind: TFloat, F: c.f}
+	case aMean:
+		if c.n == 0 {
+			return Value{Kind: TFloat, Null: true}
+		}
+		return Value{Kind: TFloat, F: c.f / float64(c.n)}
+	case aMin, aMax:
+		if !c.set {
+			return Value{Kind: op.out, Null: true}
+		}
+		if op.out == TInt {
+			return Value{Kind: TInt, I: c.i}
+		}
+		return Value{Kind: TFloat, F: c.f}
+	case aFirst:
+		if !c.set {
+			return Value{Kind: op.out, Null: true}
+		}
+		switch op.out {
+		case TInt:
+			return Value{Kind: TInt, I: c.i}
+		case TFloat:
+			return Value{Kind: TFloat, F: c.f}
+		case TStr:
+			return Value{Kind: TStr, S: op.col.Dict.Value(int32(c.i))}
+		default:
+			return Value{Kind: TBool, B: c.i != 0}
+		}
+	case aRatio:
+		// The FAR kernel mirrors stats.Proportion.Ratio: 0/0 is NaN, which
+		// the CSV encoder renders as "NaN" exactly like the exhibit path.
+		pr := stats.Proportion{K: int(c.n), N: int(c.i)}
+		return Value{Kind: TFloat, F: pr.Ratio()}
+	}
+	return Value{Kind: TInt, Null: true}
+}
+
+// keyValue renders one key token as an output value.
+func keyValue(col *Column, tok uint64) Value {
+	if tok == 0 {
+		return Value{Kind: col.Type, Null: true}
+	}
+	switch col.Type {
+	case TStr:
+		return Value{Kind: TStr, S: col.Dict.Value(int32(tok - 1))}
+	case TBool:
+		return Value{Kind: TBool, B: tok == 2}
+	default:
+		// Arithmetic shift inverts intToken exactly, including negatives.
+		return Value{Kind: TInt, I: int64(tok) >> 1}
+	}
+}
+
+// row is one unified output row: key cells then aggregate cells, with the
+// raw key tokens retained for appearance-order sorting.
+type execRow struct {
+	vals   []Value
+	tokens []uint64
+}
+
+// Run executes q against fs. The result is deterministic: identical input
+// bytes yield identical output bytes at any GOMAXPROCS.
+func Run(fs *FrameSet, q *Query) (*Result, error) {
+	p, err := compile(fs, q)
+	if err != nil {
+		return nil, err
+	}
+	if !p.grouped {
+		return runSelect(p)
+	}
+	return runGrouped(p)
+}
+
+// runSelect evaluates a projection in frame row order.
+func runSelect(p *plan) (*Result, error) {
+	res := newResult(p)
+	var rows []execRow
+	for row := 0; row < p.f.NumRows; row++ {
+		if !matchFilter(p.where, row) {
+			continue
+		}
+		vals := make([]Value, len(p.selects))
+		toks := make([]uint64, len(p.selects))
+		for si, s := range p.selects {
+			toks[si] = token(s.col, row)
+			vals[si] = columnValue(s.col, row)
+		}
+		rows = append(rows, execRow{vals: vals, tokens: toks})
+	}
+	sortRows(p, rows)
+	if p.limit > 0 && len(rows) > p.limit {
+		rows = rows[:p.limit]
+	}
+	for _, r := range rows {
+		res.addRow(p, r.vals)
+	}
+	return res, nil
+}
+
+// columnValue reads one cell of a column.
+func columnValue(col *Column, row int) Value {
+	if !col.valid(row) {
+		return Value{Kind: col.Type, Null: true}
+	}
+	switch col.Type {
+	case TInt:
+		return Value{Kind: TInt, I: col.Ints[row]}
+	case TFloat:
+		return Value{Kind: TFloat, F: col.Floats[row]}
+	case TStr:
+		return Value{Kind: TStr, S: col.str(row)}
+	default:
+		return Value{Kind: TBool, B: col.Bools.Get(row)}
+	}
+}
+
+// runGrouped evaluates a grouped query: parallel scan, deterministic
+// merge, optional domain completion, sort, limit, totals, compare.
+func runGrouped(p *plan) (*Result, error) {
+	acc, err := execGrouped(p)
+	if err != nil {
+		return nil, err
+	}
+	groups := acc.order
+	if p.complete {
+		groups = completeGroups(p, acc)
+	}
+
+	rows := make([]execRow, 0, len(groups))
+	for _, g := range groups {
+		vals := make([]Value, 0, len(p.keys)+len(p.aggs))
+		for ki, k := range p.keys {
+			vals = append(vals, keyValue(k.col, g.tokens[ki]))
+		}
+		for ai := range p.aggs {
+			vals = append(vals, cellValue(&p.aggs[ai], &g.cells[ai]))
+		}
+		rows = append(rows, execRow{vals: vals, tokens: g.tokens})
+	}
+	sortRows(p, rows)
+	if p.limit > 0 && len(rows) > p.limit {
+		rows = rows[:p.limit]
+	}
+
+	res := newResult(p)
+	for _, r := range rows {
+		res.addRow(p, r.vals)
+	}
+	if p.totals != "" {
+		// Every matched row lands in exactly one group, and the merged
+		// group order is global first-appearance order — so folding the
+		// group cells reproduces a whole-scan accumulation for every
+		// aggregate kind, including first.
+		tot := groupAcc{cells: make([]accCell, len(p.aggs))}
+		for _, g := range acc.order {
+			for ai := range p.aggs {
+				mergeCell(p.aggs[ai].kind, &tot.cells[ai], &g.cells[ai])
+			}
+		}
+		vals := make([]Value, 0, len(p.keys)+len(p.aggs))
+		labeled := false
+		for _, k := range p.keys {
+			if !k.hide && !labeled {
+				vals = append(vals, Value{Kind: TStr, S: p.totals})
+				labeled = true
+				continue
+			}
+			vals = append(vals, Value{Kind: k.col.Type, Null: true})
+		}
+		for ai := range p.aggs {
+			vals = append(vals, cellValue(&p.aggs[ai], &tot.cells[ai]))
+		}
+		res.addRow(p, vals)
+	}
+	if p.compare != nil {
+		cr, err := runCompare(p, acc)
+		if err != nil {
+			return nil, err
+		}
+		res.Compare = cr
+	}
+	return res, nil
+}
+
+// runCompare evaluates the two-group test over the merged accumulators.
+func runCompare(p *plan, acc *accSet) (*CompareResult, error) {
+	cp := p.compare
+	cr := &CompareResult{Test: cp.test, Groups: cp.labels}
+	for gi := 0; gi < 2; gi++ {
+		if cp.missing[gi] || acc.lookup(cp.tokens[gi]) == nil {
+			return nil, fmt.Errorf("%w: compare group %v not found in result", ErrEmpty, cp.rawSpecs[gi])
+		}
+	}
+	switch cp.test {
+	case "welch":
+		t, err := stats.WelchTTest(acc.cmp[0], acc.cmp[1])
+		if err != nil {
+			// Too few observations is a property of the data slice, not of
+			// the query shape: surface it as the empty-result condition.
+			return nil, fmt.Errorf("%w: %v", ErrEmpty, err)
+		}
+		cr.N = [2]int{len(acc.cmp[0]), len(acc.cmp[1])}
+		cr.Stat, cr.DF, cr.P, cr.Method = t.T, t.DF, t.P, "welch-t"
+	case "chisq":
+		g0 := acc.lookup(cp.tokens[0])
+		g1 := acc.lookup(cp.tokens[1])
+		k0, n0 := int(g0.cells[cp.numIdx].n), int(g0.cells[cp.denIdx].n)
+		k1, n1 := int(g1.cells[cp.numIdx].n), int(g1.cells[cp.denIdx].n)
+		chi, err := stats.TwoProportionChiSq(k0, n0, k1, n1)
+		if err != nil {
+			// K > N means the num count is not a subset of the den count —
+			// a query-shape mistake.
+			return nil, invalidf("compare: %v", err)
+		}
+		cr.N = [2]int{n0, n1}
+		cr.Stat, cr.DF, cr.P, cr.Method = chi.ChiSq, chi.DF, chi.P, "chi-squared"
+	}
+	return cr, nil
+}
+
+// sortRows stable-sorts rows per the plan's order_by; with no order_by the
+// incoming deterministic order (first appearance / frame order) stands.
+func sortRows(p *plan, rows []execRow) {
+	if len(p.orderBy) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, o := range p.orderBy {
+			var c int
+			if o.appearance {
+				c = cmpUint64(rows[i].tokens[o.slot], rows[j].tokens[o.slot])
+			} else {
+				c = cmpValue(rows[i].vals[o.slot], rows[j].vals[o.slot])
+			}
+			if c == 0 {
+				continue
+			}
+			if o.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func cmpUint64(a, b uint64) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// cmpValue orders two cells of the same kind: nulls first, NaN before any
+// number, otherwise natural order.
+func cmpValue(a, b Value) int {
+	if a.Null || b.Null {
+		if a.Null && b.Null {
+			return 0
+		}
+		if a.Null {
+			return -1
+		}
+		return 1
+	}
+	switch a.Kind {
+	case TInt:
+		if a.I < b.I {
+			return -1
+		}
+		if a.I > b.I {
+			return 1
+		}
+		return 0
+	case TFloat:
+		an := a.F != a.F
+		bn := b.F != b.F
+		if an || bn {
+			if an && bn {
+				return 0
+			}
+			if an {
+				return -1
+			}
+			return 1
+		}
+		if a.F < b.F {
+			return -1
+		}
+		if a.F > b.F {
+			return 1
+		}
+		return 0
+	case TStr:
+		if a.S < b.S {
+			return -1
+		}
+		if a.S > b.S {
+			return 1
+		}
+		return 0
+	default:
+		if a.B == b.B {
+			return 0
+		}
+		if !a.B {
+			return -1
+		}
+		return 1
+	}
+}

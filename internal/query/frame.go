@@ -1,0 +1,420 @@
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/affil"
+	"repro/internal/countries"
+	"repro/internal/dataset"
+	"repro/internal/gender"
+)
+
+// Frame is one columnar table: a fixed set of typed columns over the same
+// row count. Row order is deterministic per dataset (construction iterates
+// only ordered slices and sorted ID lists), which makes the engine's
+// default "first appearance" group order meaningful.
+type Frame struct {
+	Name    string
+	NumRows int
+	cols    []*Column
+	byName  map[string]*Column
+}
+
+// Column returns the named column, or ok=false.
+func (f *Frame) Column(name string) (*Column, bool) {
+	c, ok := f.byName[name]
+	return c, ok
+}
+
+// ColumnNames lists the frame's columns in schema order.
+func (f *Frame) ColumnNames() []string {
+	out := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func newFrame(name string, n int, cols []*Column) *Frame {
+	f := &Frame{Name: name, NumRows: n, cols: cols, byName: make(map[string]*Column, len(cols))}
+	for _, c := range cols {
+		f.byName[c.Name] = c
+	}
+	return f
+}
+
+// Frame names exposed by a FrameSet.
+const (
+	FrameSlots   = "slots"   // one row per role slot, with repeats
+	FramePeople  = "people"  // one row per unique researcher
+	FrameMembers = "members" // one row per (researcher, author/PC population)
+	FramePapers  = "papers"  // one row per paper
+)
+
+// FrameSet is the columnar flattening of one corpus: the four frames every
+// query runs over. Construction is deterministic — the same dataset always
+// yields byte-identical frames.
+type FrameSet struct {
+	frames []*Frame
+}
+
+// Frame returns a frame by name, or ok=false.
+func (fs *FrameSet) Frame(name string) (*Frame, bool) {
+	for _, f := range fs.frames {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the available frame names in fixed order.
+func (fs *FrameSet) Names() []string {
+	out := make([]string, len(fs.frames))
+	for i, f := range fs.frames {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Schema describes one frame's columns as "name:type" pairs, for error
+// messages and the CLI.
+func (fs *FrameSet) Schema(name string) []string {
+	f, ok := fs.Frame(name)
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		out[i] = c.Name + ":" + c.Type.String()
+	}
+	return out
+}
+
+// NewFrameSet flattens a corpus into columnar frames. Dictionaries that
+// carry a presentation order (conference, role, population) are pre-seeded
+// so "appearance"-mode sorting reproduces the paper's table order.
+func NewFrameSet(d *dataset.Dataset) *FrameSet {
+	return &FrameSet{frames: []*Frame{
+		buildSlots(d),
+		buildPeople(d),
+		buildMembers(d),
+		buildPapers(d),
+	}}
+}
+
+// confDicts returns dictionaries for conference IDs and names pre-seeded in
+// Table 1 (dataset) order.
+func confDicts(d *dataset.Dataset) (ids, names *Dict) {
+	ids, names = NewDict(), NewDict()
+	for _, c := range d.Conferences {
+		ids.Code(string(c.ID))
+		names.Code(c.Name)
+	}
+	return ids, names
+}
+
+func roleDict() *Dict {
+	seed := make([]string, 0, 6)
+	for _, r := range dataset.Roles() {
+		seed = append(seed, r.String())
+	}
+	return NewDict(seed...)
+}
+
+// personCols bundles the demographic columns shared by several frames.
+type personCols struct {
+	gender, country, region, sector *colBuilder
+	known, female                   *colBuilder
+}
+
+func newPersonCols() personCols {
+	return personCols{
+		gender:  newStrCol("gender", NewDict("female", "male", "unknown")),
+		known:   newBoolCol("known"),
+		female:  newBoolCol("female"),
+		country: newStrCol("country", nil),
+		region:  newStrCol("region", nil),
+		sector:  newStrCol("sector", NewDict("COM", "EDU", "GOV")),
+	}
+}
+
+// add appends one person's demographics; a nil person (dangling ID) writes
+// gender "unknown" and null demographics, matching the analyses' exclusion
+// convention.
+func (pc *personCols) add(p *dataset.Person) {
+	if p == nil {
+		pc.gender.addStr("unknown")
+		pc.known.addBool(false)
+		pc.female.addBool(false)
+		pc.country.addNull()
+		pc.region.addNull()
+		pc.sector.addNull()
+		return
+	}
+	pc.gender.addStr(p.Gender.String())
+	pc.known.addBool(p.Gender.Known())
+	pc.female.addBool(p.Gender == gender.Female)
+	if p.CountryCode == "" {
+		pc.country.addNull()
+	} else {
+		pc.country.addStr(p.CountryCode)
+	}
+	if region := countries.SubregionOf(p.CountryCode); region == "" {
+		pc.region.addNull()
+	} else {
+		pc.region.addStr(region)
+	}
+	if p.Sector == affil.SectorUnknown {
+		pc.sector.addNull()
+	} else {
+		pc.sector.addStr(p.Sector.String())
+	}
+}
+
+func (pc *personCols) finish(n int) []*Column {
+	return []*Column{
+		pc.gender.finish(n), pc.known.finish(n), pc.female.finish(n),
+		pc.country.finish(n), pc.region.finish(n), pc.sector.finish(n),
+	}
+}
+
+// buildSlots emits one row per role slot, with repeats, role-major then
+// conference-minor — so grouping author slots by conference surfaces
+// groups in Table 1 order without an explicit sort.
+func buildSlots(d *dataset.Dataset) *Frame {
+	confIDs, confNames := confDicts(d)
+	conf := newStrCol("conf", confIDs)
+	name := newStrCol("conference", confNames)
+	year := newIntCol("year")
+	role := newStrCol("role", roleDict())
+	person := newStrCol("person", nil)
+	pc := newPersonCols()
+	doubleBlind := newBoolCol("double_blind")
+	attendance := newFloatCol("attendance")
+	lead := newBoolCol("lead")
+	last := newBoolCol("last")
+	paper := newStrCol("paper", nil)
+	citations := newIntCol("citations36")
+	hpc := newBoolCol("hpc_topic")
+
+	n := 0
+	addRow := func(c *dataset.Conference, r dataset.Role, id dataset.PersonID, pap *dataset.Paper, isLead, isLast bool) {
+		conf.addStr(string(c.ID))
+		name.addStr(c.Name)
+		year.addInt(int64(c.Year))
+		role.addStr(r.String())
+		person.addStr(string(id))
+		p, _ := d.Person(id)
+		pc.add(p)
+		doubleBlind.addBool(c.DoubleBlind)
+		attendance.addFloat(c.WomenAttendance)
+		lead.addBool(isLead)
+		last.addBool(isLast)
+		if pap == nil {
+			paper.addNull()
+			citations.addNull()
+			hpc.addNull()
+		} else {
+			paper.addStr(string(pap.ID))
+			citations.addInt(int64(pap.Citations36))
+			hpc.addBool(pap.HPCTopic)
+		}
+		n++
+	}
+	for _, r := range dataset.Roles() {
+		for _, c := range d.Conferences {
+			if r == dataset.RoleAuthor {
+				for _, pap := range d.PapersOf(c.ID) {
+					for ai, id := range pap.Authors {
+						addRow(c, r, id, pap, ai == 0, ai == len(pap.Authors)-1)
+					}
+				}
+				continue
+			}
+			for _, id := range c.RoleHolders(r) {
+				addRow(c, r, id, nil, false, false)
+			}
+		}
+	}
+	cols := []*Column{
+		conf.finish(n), name.finish(n), year.finish(n), role.finish(n), person.finish(n),
+	}
+	cols = append(cols, pc.finish(n)...)
+	cols = append(cols,
+		doubleBlind.finish(n), attendance.finish(n), lead.finish(n), last.finish(n),
+		paper.finish(n), citations.finish(n), hpc.finish(n),
+	)
+	return newFrame(FrameSlots, n, cols)
+}
+
+// rolePresence returns, per person, the set of roles held anywhere in the
+// corpus (authors via papers, other roles via rosters).
+func rolePresence(d *dataset.Dataset) map[dataset.PersonID]map[dataset.Role]bool {
+	held := make(map[dataset.PersonID]map[dataset.Role]bool, len(d.Persons))
+	mark := func(id dataset.PersonID, r dataset.Role) {
+		m := held[id]
+		if m == nil {
+			m = make(map[dataset.Role]bool, 2)
+			held[id] = m
+		}
+		m[r] = true
+	}
+	for _, p := range d.Papers {
+		for _, id := range p.Authors {
+			mark(id, dataset.RoleAuthor)
+		}
+	}
+	for _, c := range d.Conferences {
+		for _, r := range dataset.Roles() {
+			if r == dataset.RoleAuthor {
+				continue
+			}
+			for _, id := range c.RoleHolders(r) {
+				mark(id, r)
+			}
+		}
+	}
+	return held
+}
+
+// buildPeople emits one row per unique researcher holding any role, sorted
+// by person ID.
+func buildPeople(d *dataset.Dataset) *Frame {
+	held := rolePresence(d)
+	ids := make([]string, 0, len(held))
+	for id := range held {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+
+	person := newStrCol("person", nil)
+	pc := newPersonCols()
+	roleFlags := make([]*colBuilder, 0, 6)
+	for _, r := range dataset.Roles() {
+		roleFlags = append(roleFlags, newBoolCol("is_"+flagName(r)))
+	}
+	papers := newIntCol("papers")
+	gsPubs := newFloatCol("gs_pubs")
+	hindex := newFloatCol("hindex")
+	s2Pubs := newFloatCol("s2_pubs")
+
+	authored := make(map[dataset.PersonID]int64, len(held))
+	for _, p := range d.Papers {
+		for _, id := range p.Authors {
+			authored[id]++
+		}
+	}
+
+	n := 0
+	for _, sid := range ids {
+		id := dataset.PersonID(sid)
+		person.addStr(sid)
+		p, _ := d.Person(id)
+		pc.add(p)
+		for ri, r := range dataset.Roles() {
+			roleFlags[ri].addBool(held[id][r])
+		}
+		papers.addInt(authored[id])
+		if p != nil && p.HasGSProfile {
+			gsPubs.addFloat(float64(p.GS.Publications))
+			hindex.addFloat(float64(p.GS.HIndex))
+		} else {
+			gsPubs.addNull()
+			hindex.addNull()
+		}
+		if p != nil && p.HasS2 {
+			s2Pubs.addFloat(float64(p.S2Pubs))
+		} else {
+			s2Pubs.addNull()
+		}
+		n++
+	}
+	cols := []*Column{person.finish(n)}
+	cols = append(cols, pc.finish(n)...)
+	for _, rf := range roleFlags {
+		cols = append(cols, rf.finish(n))
+	}
+	cols = append(cols, papers.finish(n), gsPubs.finish(n), hindex.finish(n), s2Pubs.finish(n))
+	return newFrame(FramePeople, n, cols)
+}
+
+// flagName converts a role label to a column suffix ("PC member" →
+// "pc_member").
+func flagName(r dataset.Role) string {
+	return strings.ReplaceAll(strings.ToLower(r.String()), " ", "_")
+}
+
+// buildMembers emits one row per (person, population) membership, where the
+// populations are the paper's two §5 demographic bases: unique authors and
+// unique PC members. A person in both populations contributes two rows.
+func buildMembers(d *dataset.Dataset) *Frame {
+	role := newStrCol("role", NewDict(
+		dataset.RoleAuthor.String(), dataset.RolePCMember.String()))
+	person := newStrCol("person", nil)
+	pc := newPersonCols()
+
+	n := 0
+	add := func(r dataset.Role, ids []dataset.PersonID) {
+		for _, id := range ids {
+			role.addStr(r.String())
+			person.addStr(string(id))
+			p, _ := d.Person(id)
+			pc.add(p)
+			n++
+		}
+	}
+	add(dataset.RoleAuthor, d.UniqueAuthors())
+	add(dataset.RolePCMember, d.UniqueRoleHolders(dataset.RolePCMember))
+
+	cols := []*Column{role.finish(n), person.finish(n)}
+	cols = append(cols, pc.finish(n)...)
+	return newFrame(FrameMembers, n, cols)
+}
+
+// buildPapers emits one row per paper in corpus order, with lead-author
+// demographics denormalized for reception-style slices.
+func buildPapers(d *dataset.Dataset) *Frame {
+	confIDs, confNames := confDicts(d)
+	paper := newStrCol("paper", nil)
+	conf := newStrCol("conference", confIDs)
+	name := newStrCol("conference_name", confNames)
+	year := newIntCol("year")
+	leadGender := newStrCol("lead_gender", NewDict("female", "male", "unknown"))
+	leadKnown := newBoolCol("lead_known")
+	leadFemale := newBoolCol("lead_female")
+	citations := newIntCol("citations36")
+	hpc := newBoolCol("hpc_topic")
+	authors := newIntCol("authors")
+	doubleBlind := newBoolCol("double_blind")
+
+	n := 0
+	for _, p := range d.Papers {
+		c, ok := d.Conference(p.Conf)
+		if !ok {
+			continue
+		}
+		paper.addStr(string(p.ID))
+		conf.addStr(string(c.ID))
+		name.addStr(c.Name)
+		year.addInt(int64(c.Year))
+		g := "unknown"
+		if lead, ok := d.Person(p.Lead()); ok {
+			g = lead.Gender.String()
+		}
+		leadGender.addStr(g)
+		leadKnown.addBool(g == "female" || g == "male")
+		leadFemale.addBool(g == "female")
+		citations.addInt(int64(p.Citations36))
+		hpc.addBool(p.HPCTopic)
+		authors.addInt(int64(len(p.Authors)))
+		doubleBlind.addBool(c.DoubleBlind)
+		n++
+	}
+	return newFrame(FramePapers, n, []*Column{
+		paper.finish(n), conf.finish(n), name.finish(n), year.finish(n),
+		leadGender.finish(n), leadKnown.finish(n), leadFemale.finish(n),
+		citations.finish(n), hpc.finish(n), authors.finish(n), doubleBlind.finish(n),
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package query
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose per-access instrumentation distorts the columnar-vs-
+// naive timing ratio the perf floor asserts.
+const raceEnabled = true

@@ -1,0 +1,183 @@
+package query
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strconv"
+)
+
+// Value is one result cell. Kind selects the populated field; Null cells
+// encode as "" in CSV and null in JSON.
+type Value struct {
+	Kind ColType
+	Null bool
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// csvString renders the cell with the same conventions as the exhibit CSV
+// exporter: strconv.FormatInt, FormatBool, and FormatFloat(x, 'g', -1, 64)
+// — which prints NaN as "NaN" — so query output can be diffed byte-for-byte
+// against committed exhibit files.
+func (v Value) csvString() string {
+	if v.Null {
+		return ""
+	}
+	switch v.Kind {
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TBool:
+		return strconv.FormatBool(v.B)
+	default:
+		return v.S
+	}
+}
+
+// MarshalJSON encodes the cell as a bare JSON scalar. Non-finite floats
+// have no JSON representation; they encode as null, matching the exhibit
+// DTO convention for no-data ratios.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.Null {
+		return []byte("null"), nil
+	}
+	switch v.Kind {
+	case TInt:
+		return strconv.AppendInt(nil, v.I, 10), nil
+	case TFloat:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			return []byte("null"), nil
+		}
+		return json.Marshal(v.F)
+	case TBool:
+		return strconv.AppendBool(nil, v.B), nil
+	default:
+		return json.Marshal(v.S)
+	}
+}
+
+// CompareResult is the outcome of a two-group test attached to a grouped
+// result.
+type CompareResult struct {
+	Test   string    `json:"test"`
+	Groups [2]string `json:"groups"`
+	N      [2]int    `json:"n"`
+	Stat   float64   `json:"stat"`
+	DF     float64   `json:"df"`
+	P      float64   `json:"p"`
+	Method string    `json:"method"`
+}
+
+// MarshalJSON guards the float fields against non-finite values, which
+// encoding/json rejects.
+func (c CompareResult) MarshalJSON() ([]byte, error) {
+	type dto struct {
+		Test   string    `json:"test"`
+		Groups [2]string `json:"groups"`
+		N      [2]int    `json:"n"`
+		Stat   *float64  `json:"stat"`
+		DF     *float64  `json:"df"`
+		P      *float64  `json:"p"`
+		Method string    `json:"method"`
+	}
+	fin := func(f float64) *float64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil
+		}
+		return &f
+	}
+	return json.Marshal(dto{
+		Test: c.Test, Groups: c.Groups, N: c.N,
+		Stat: fin(c.Stat), DF: fin(c.DF), P: fin(c.P), Method: c.Method,
+	})
+}
+
+// Result is an executed query: the visible output columns and their rows,
+// plus the optional comparison.
+type Result struct {
+	Columns []string       `json:"columns"`
+	Rows    [][]Value      `json:"rows"`
+	Compare *CompareResult `json:"compare,omitempty"`
+}
+
+// newResult initializes the result with the plan's visible column names.
+func newResult(p *plan) *Result {
+	r := &Result{Rows: [][]Value{}}
+	if p.grouped {
+		for _, k := range p.keys {
+			if !k.hide {
+				r.Columns = append(r.Columns, k.name)
+			}
+		}
+		for _, a := range p.aggs {
+			r.Columns = append(r.Columns, a.name)
+		}
+	} else {
+		for _, s := range p.selects {
+			r.Columns = append(r.Columns, s.name)
+		}
+	}
+	return r
+}
+
+// addRow projects a unified row (all keys + aggs) down to the visible
+// columns and appends it.
+func (r *Result) addRow(p *plan, vals []Value) {
+	if !p.grouped {
+		r.Rows = append(r.Rows, vals)
+		return
+	}
+	out := make([]Value, 0, len(r.Columns))
+	for ki, k := range p.keys {
+		if !k.hide {
+			out = append(out, vals[ki])
+		}
+	}
+	out = append(out, vals[len(p.keys):]...)
+	r.Rows = append(r.Rows, out)
+}
+
+// CSV encodes the result as RFC 4180 CSV with \n line endings, the exact
+// convention of the exhibit CSV exporter.
+func (r *Result) CSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(r.Columns); err != nil {
+		return nil, err
+	}
+	rec := make([]string, len(r.Columns))
+	for _, row := range r.Rows {
+		for i, v := range row {
+			rec[i] = v.csvString()
+		}
+		if err := w.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// JSON encodes the result as deterministic JSON.
+func (r *Result) JSON() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// Encode renders per the requested format (JSON when empty) and reports
+// the matching content type.
+func (r *Result) Encode(format string) (body []byte, contentType string, err error) {
+	if format == FormatCSV {
+		b, err := r.CSV()
+		return b, "text/csv; charset=utf-8", err
+	}
+	b, err := r.JSON()
+	return b, "application/json", err
+}

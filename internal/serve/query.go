@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/query"
+)
+
+// maxQueryBytes bounds a /v1/query spec body. Real specs are a few hundred
+// bytes; anything larger is rejected with 413 before parsing.
+const maxQueryBytes = 64 << 10
+
+// queryErrorDTO is the structured error envelope every /v1/query failure
+// returns, so clients can branch on status without scraping prose.
+type queryErrorDTO struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// writeQueryError emits the JSON error envelope with the given status.
+func writeQueryError(w http.ResponseWriter, status int, msg string) {
+	body, err := marshalJSON(queryErrorDTO{Error: msg, Status: status})
+	if err != nil {
+		http.Error(w, msg, status)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// handleQuery serves POST /v1/query: an ad-hoc columnar query against the
+// request's study. The spec arrives as JSON (see query.Parse); results are
+// memoized through the exhibit cache keyed by the canonicalized spec hash,
+// so semantically identical specs — whatever their field order or
+// spelling — share one execution. Validation failures return 400, queries
+// that match no rows 422, both as structured JSON; errors are never
+// cached.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	key, err := s.parseStudyKey(r)
+	if err != nil {
+		writeQueryError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeQueryError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("query spec exceeds %d bytes", maxQueryBytes))
+			return
+		}
+		writeQueryError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	q, err := query.Parse(body)
+	if err != nil {
+		writeQueryError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, err := s.studies.Get(key)
+	if err != nil {
+		writeQueryError(w, http.StatusInternalServerError,
+			fmt.Sprintf("materializing study (%s): %v", key, err))
+		return
+	}
+
+	// The content type is a pure function of the requested format, so a
+	// cache hit can set it without re-running the query.
+	contentType := "application/json"
+	if q.Format == query.FormatCSV {
+		contentType = "text/csv; charset=utf-8"
+	}
+	cacheKey := "query|" + q.Hash() + "|" + key.String()
+	out, outcome, err := s.cache.Get(cacheKey, func() ([]byte, error) {
+		start := s.clock.Now()
+		defer func() { s.met.renders.ObserveDuration(s.clock.Now().Sub(start)) }()
+		res, err := st.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		b, _, err := res.Encode(q.Format)
+		return b, err
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, query.ErrInvalid):
+			writeQueryError(w, http.StatusBadRequest, err.Error())
+		case errors.Is(err, query.ErrEmpty):
+			writeQueryError(w, http.StatusUnprocessableEntity, err.Error())
+		default:
+			writeQueryError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.met.queries.With(q.Frame).Inc()
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("Content-Length", strconv.Itoa(len(out)))
+	h.Set("X-Cache", outcome)
+	_, _ = w.Write(out)
+}

@@ -21,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -80,6 +81,8 @@ type metrics struct {
 	cacheMisses    *obs.Counter
 	cacheCoalesced *obs.Counter
 
+	queries *obs.CounterVec // frame
+
 	harvestRetries  *obs.Counter
 	harvestOutcomes *obs.CounterVec // outcome
 }
@@ -105,6 +108,10 @@ func newMetrics(r *obs.Registry) *metrics {
 			"Exhibit-cache lookups that rendered (each miss is one render)."),
 		cacheCoalesced: r.Counter("whpcd_exhibit_cache_coalesced_total",
 			"Exhibit-cache lookups that waited on another request's in-flight render."),
+		// The frame label is bounded: it is only incremented after a query
+		// executes successfully, and execution validates the frame name.
+		queries: r.CounterVec("whpcd_queries_total",
+			"Columnar queries answered successfully, by frame.", "frame"),
 		harvestRetries: r.Counter("whpcd_harvest_retries_total",
 			"Retried bibliometric lookup attempts across harvested-study materializations."),
 		harvestOutcomes: r.CounterVec("whpcd_harvest_outcomes_total",
@@ -196,6 +203,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/exhibits/{id}", s.handleExhibit)
 	s.route("GET /v1/report", s.handleReport)
 	s.route("GET /v1/csv/{name}", s.handleCSV)
+	s.route("POST /v1/query", s.handleQuery)
 	s.route("GET /metrics", cfg.Metrics.Handler().ServeHTTP)
 	s.route("GET /debug/vars", cfg.Metrics.VarsHandler().ServeHTTP)
 	return s, nil
@@ -205,7 +213,7 @@ func New(cfg Config) (*Server, error) {
 // middleware chain. The pattern (minus the method) doubles as the bounded-
 // cardinality route label on metrics and logs.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
-	route := pattern[len("GET "):]
+	route := pattern[strings.IndexByte(pattern, ' ')+1:]
 	if s.cfg.RatePerSecond > 0 {
 		burst := s.cfg.RateBurst
 		if burst <= 0 {

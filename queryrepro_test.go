@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/csv"
+	"runtime"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/report"
+)
+
+// expectedExhibitCSV renders one report.CSVExports family exactly as the
+// CSV exporter writes it to disk.
+func expectedExhibitCSV(t *testing.T, s *Study, name string) []byte {
+	t.Helper()
+	e, ok := report.CSVExportByName(s.Dataset(), name)
+	if !ok {
+		t.Fatalf("no CSV export family %q", name)
+	}
+	rows, err := e.Rows()
+	if err != nil {
+		t.Fatalf("rendering %s: %v", name, err)
+	}
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.WriteAll(rows); err != nil {
+		t.Fatalf("encoding %s: %v", name, err)
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// TestExhibitQueriesReproduceCSVExports is the engine's correctness
+// anchor: every named exhibit query must reproduce its CSV export family
+// byte-for-byte, so the ad-hoc query path and the paper's fixed exhibit
+// path can never drift apart silently.
+func TestExhibitQueriesReproduceCSVExports(t *testing.T) {
+	queries := ExhibitQueries()
+	if len(queries) < 6 {
+		t.Fatalf("only %d exhibit queries; the engine must cover at least 6 exhibits", len(queries))
+	}
+	for _, eq := range queries {
+		t.Run(eq.Name, func(t *testing.T) {
+			res, err := study.Query(eq.Query)
+			if err != nil {
+				t.Fatalf("query failed: %v", err)
+			}
+			got, err := res.CSV()
+			if err != nil {
+				t.Fatalf("CSV encoding failed: %v", err)
+			}
+			want := expectedExhibitCSV(t, study, eq.Name)
+			if !bytes.Equal(got, want) {
+				t.Errorf("query CSV differs from exhibit CSV\n--- query ---\n%s\n--- exhibit ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestExhibitQueriesRoundTripJSON proves the named queries survive the
+// wire format: parsing their canonical JSON yields an equivalent query
+// with the same canonical bytes and the same result.
+func TestExhibitQueriesRoundTripJSON(t *testing.T) {
+	for _, eq := range ExhibitQueries() {
+		spec := eq.Query.Canonical()
+		parsed, err := query.Parse(spec)
+		if err != nil {
+			t.Fatalf("%s: canonical spec does not re-parse: %v", eq.Name, err)
+		}
+		if !bytes.Equal(parsed.Canonical(), spec) {
+			t.Errorf("%s: canonicalization not a fixed point:\n%s\nvs\n%s", eq.Name, parsed.Canonical(), spec)
+		}
+		if parsed.Hash() != eq.Query.Hash() {
+			t.Errorf("%s: hash changed across round trip", eq.Name)
+		}
+		res, err := study.Query(parsed)
+		if err != nil {
+			t.Fatalf("%s: parsed query failed: %v", eq.Name, err)
+		}
+		got, err := res.CSV()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expectedExhibitCSV(t, study, eq.Name)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: parsed query output differs from exhibit CSV", eq.Name)
+		}
+	}
+}
+
+// TestQueryDeterministicAcrossGOMAXPROCS runs every exhibit query single-
+// threaded and at 8 workers and demands byte-identical output — the
+// whpcvet determinism contract applied to the parallel scan and merge.
+func TestQueryDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	// A fresh FrameSet per GOMAXPROCS setting would hide nothing (frames
+	// are built serially); reuse the study's.
+	run := func() map[string][]byte {
+		out := make(map[string][]byte)
+		for _, eq := range ExhibitQueries() {
+			res, err := study.Query(eq.Query)
+			if err != nil {
+				t.Fatalf("%s: %v", eq.Name, err)
+			}
+			b, err := res.CSV()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[eq.Name] = b
+		}
+		return out
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(8)
+	parallel := run()
+	runtime.GOMAXPROCS(prev)
+	for name, want := range serial {
+		if !bytes.Equal(parallel[name], want) {
+			t.Errorf("%s: output differs between GOMAXPROCS=1 and 8", name)
+		}
+	}
+}

@@ -26,11 +26,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faulty"
 	"repro/internal/ingest"
+	"repro/internal/query"
 	"repro/internal/synth"
 )
 
@@ -48,6 +50,13 @@ type Study struct {
 	// report. All nil/empty for directly constructed studies.
 	harvest  *ingest.HarvestReport
 	baseline *dataset.Dataset
+	// framesOnce/frames lazily build the columnar FrameSet shared by every
+	// ad-hoc query (see Frames); exhibitsOnce/exhibitsByID lazily index the
+	// exhibit enumeration by ID for the serve path (see Exhibit).
+	framesOnce   sync.Once
+	frames       *query.FrameSet
+	exhibitsOnce sync.Once
+	exhibitsByID map[string]Exhibit
 }
 
 // NewStudy generates the paper's main 2017 nine-conference corpus with the
