@@ -1,17 +1,20 @@
 // Command farstat computes headline gender-gap statistics for a corpus
-// stored as CSV files (the synthgen/whpc -save format): overall and
+// stored as CSV files (the synthgen/whpc -save format) or as a binary
+// snapshot (the synthgen -snap / whpc -snapshot-out format): overall and
 // per-conference female author ratio, per-role representation, and the
 // PC-vs-author gap. Use it to analyze corpora you assembled yourself.
 //
 // Usage:
 //
 //	farstat -dir DIR [-json]
+//	farstat -snap FILE [-json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -32,23 +35,30 @@ type summary struct {
 }
 
 func main() {
-	dir := flag.String("dir", "", "corpus directory (required)")
+	dir := flag.String("dir", "", "corpus CSV directory")
+	snapIn := flag.String("snap", "", "corpus binary snapshot file")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	full := flag.Bool("full", false, "also print role, geography and sector breakdowns")
 	flag.Parse()
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "farstat: -dir is required")
+	if (*dir == "") == (*snapIn == "") {
+		fmt.Fprintln(os.Stderr, "farstat: exactly one of -dir or -snap is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *asJSON, *full); err != nil {
+	if err := run(os.Stdout, *dir, *snapIn, *asJSON, *full); err != nil {
 		fmt.Fprintln(os.Stderr, "farstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, asJSON, full bool) error {
-	study, err := repro.Load(dir)
+func run(w io.Writer, dir, snapIn string, asJSON, full bool) error {
+	var study *repro.Study
+	var err error
+	if snapIn != "" {
+		study, err = repro.OpenSnapshotFile(snapIn)
+	} else {
+		study, err = repro.Load(dir)
+	}
 	if err != nil {
 		return err
 	}
@@ -72,34 +82,34 @@ func run(dir string, asJSON, full bool) error {
 		s.PerConfFAR[string(row.Conf)] = row.Ratio.Ratio()
 	}
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(s)
 	}
-	fmt.Printf("corpus: %d conferences, %d papers, %d researchers\n",
+	fmt.Fprintf(w, "corpus: %d conferences, %d papers, %d researchers\n",
 		s.Conferences, s.Papers, s.Researchers)
-	fmt.Printf("female author ratio: %.2f%% over %d author slots\n",
+	fmt.Fprintf(w, "female author ratio: %.2f%% over %d author slots\n",
 		100*s.OverallFAR, s.AuthorSlots)
 	for _, c := range d.Conferences {
 		id := dataset.ConfID(c.ID)
-		fmt.Printf("  %-10s %.2f%%\n", c.Name, 100*s.PerConfFAR[string(id)])
+		fmt.Fprintf(w, "  %-10s %.2f%%\n", c.Name, 100*s.PerConfFAR[string(id)])
 	}
-	fmt.Printf("PC women ratio: %.2f%% (vs authors: p = %.4g)\n", 100*s.PCRatio, s.PCvsAuthorP)
+	fmt.Fprintf(w, "PC women ratio: %.2f%% (vs authors: p = %.4g)\n", 100*s.PCRatio, s.PCvsAuthorP)
 	if !full {
 		return nil
 	}
-	fmt.Println()
-	if err := report.Fig1(os.Stdout, d); err != nil {
+	fmt.Fprintln(w)
+	if err := report.Fig1(w, d); err != nil {
 		return err
 	}
-	fmt.Println()
-	if err := report.Table2(os.Stdout, d); err != nil {
+	fmt.Fprintln(w)
+	if err := report.Table2(w, d); err != nil {
 		return err
 	}
-	fmt.Println()
-	if err := report.Table3(os.Stdout, d); err != nil {
+	fmt.Fprintln(w)
+	if err := report.Table3(w, d); err != nil {
 		return err
 	}
-	fmt.Println()
-	return report.Fig8(os.Stdout, d)
+	fmt.Fprintln(w)
+	return report.Fig8(w, d)
 }

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// saveTestCorpus writes the seed-7 corpus as CSVs and returns the study
+// it was saved from together with the directory.
+func saveTestCorpus(t *testing.T) (*repro.Study, string) {
+	t.Helper()
+	study, err := repro.NewStudy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := study.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return study, dir
+}
+
+// TestJSONSummaryMatchesStudy: farstat's -json output over a saved corpus
+// must agree with the statistics the library computes directly.
+func TestJSONSummaryMatchesStudy(t *testing.T) {
+	study, dir := saveTestCorpus(t)
+	var out bytes.Buffer
+	if err := run(&out, dir, "", true, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+
+	d := study.Dataset()
+	far := study.FAR()
+	pc, err := study.PC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Conferences != len(d.Conferences) || s.Papers != len(d.Papers) || s.Researchers != len(d.Persons) {
+		t.Errorf("counts = (%d, %d, %d), want (%d, %d, %d)",
+			s.Conferences, s.Papers, s.Researchers, len(d.Conferences), len(d.Papers), len(d.Persons))
+	}
+	if s.AuthorSlots != far.TotalSlots {
+		t.Errorf("author_slots = %d, want %d", s.AuthorSlots, far.TotalSlots)
+	}
+	if s.OverallFAR != far.Overall.Ratio() {
+		t.Errorf("overall_far = %v, want %v", s.OverallFAR, far.Overall.Ratio())
+	}
+	if s.PCRatio != pc.Overall.Ratio() {
+		t.Errorf("pc_women_ratio = %v, want %v", s.PCRatio, pc.Overall.Ratio())
+	}
+	if math.Abs(s.PCvsAuthorP-pc.VsAuthors.P) > 1e-12 {
+		t.Errorf("pc_vs_author_p = %v, want %v", s.PCvsAuthorP, pc.VsAuthors.P)
+	}
+	if len(s.PerConfFAR) != len(far.PerConf) {
+		t.Fatalf("per_conference_far has %d entries, want %d", len(s.PerConfFAR), len(far.PerConf))
+	}
+	for _, row := range far.PerConf {
+		if got, ok := s.PerConfFAR[string(row.Conf)]; !ok || got != row.Ratio.Ratio() {
+			t.Errorf("per_conference_far[%s] = %v (present %v), want %v", row.Conf, got, ok, row.Ratio.Ratio())
+		}
+	}
+}
+
+// TestSnapshotInputMatchesCSVInput: analyzing the same corpus through
+// -snap and through -dir must print identical bytes, in both text and
+// JSON modes, -full included.
+func TestSnapshotInputMatchesCSVInput(t *testing.T) {
+	study, dir := saveTestCorpus(t)
+	snapPath := filepath.Join(t.TempDir(), "corpus.whpcsnap")
+	if err := study.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name         string
+		asJSON, full bool
+	}{
+		{"text", false, false},
+		{"json", true, false},
+		{"full", false, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			var fromDir, fromSnap bytes.Buffer
+			if err := run(&fromDir, dir, "", mode.asJSON, mode.full); err != nil {
+				t.Fatalf("run(-dir): %v", err)
+			}
+			if err := run(&fromSnap, "", snapPath, mode.asJSON, mode.full); err != nil {
+				t.Fatalf("run(-snap): %v", err)
+			}
+			if !bytes.Equal(fromDir.Bytes(), fromSnap.Bytes()) {
+				t.Error("-snap output differs from -dir output for the same corpus")
+			}
+		})
+	}
+}
+
+// TestTextOutputShape sanity-checks the human-readable rendering.
+func TestTextOutputShape(t *testing.T) {
+	_, dir := saveTestCorpus(t)
+	var out bytes.Buffer
+	if err := run(&out, dir, "", false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"corpus:", "female author ratio:", "PC women ratio:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestErrorOnMissingInput: a nonexistent directory must surface an error,
+// not a zero-valued summary.
+func TestErrorOnMissingInput(t *testing.T) {
+	if err := run(&bytes.Buffer{}, t.TempDir()+"/nope", "", false, false); err == nil {
+		t.Error("run over a missing directory succeeded")
+	}
+	if err := run(&bytes.Buffer{}, "", t.TempDir()+"/nope.whpcsnap", false, false); err == nil {
+		t.Error("run over a missing snapshot succeeded")
+	}
+}

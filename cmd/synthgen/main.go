@@ -1,14 +1,19 @@
 // Command synthgen emits the calibrated synthetic corpus as CSV files —
-// the analog of the paper's frozen-CSV artifact (github.com/eitanf/sysconf).
+// the analog of the paper's frozen-CSV artifact (github.com/eitanf/sysconf)
+// — and/or as a checksummed binary snapshot for fast reloading.
 //
 // Usage:
 //
-//	synthgen -out DIR [-seed N] [-flagship]
+//	synthgen [-out DIR] [-snap FILE] [-seed N] [-flagship]
+//
+// At least one of -out (CSV directory) or -snap (binary .whpcsnap file,
+// corpus plus pre-built query frames) is required.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -16,30 +21,46 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 2021, "generator seed")
-	out := flag.String("out", "", "output directory for the CSV files (required)")
+	out := flag.String("out", "", "output directory for the CSV files")
+	snapOut := flag.String("snap", "", "output file for a binary snapshot (corpus + query frames)")
 	flagship := flag.Bool("flagship", false, "generate the SC/ISC 2016-2020 corpus instead of the 2017 one")
 	flag.Parse()
 
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "synthgen: -out is required")
+	if *out == "" && *snapOut == "" {
+		fmt.Fprintln(os.Stderr, "synthgen: at least one of -out or -snap is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	var study *repro.Study
-	var err error
-	if *flagship {
-		study, err = repro.NewFlagshipStudy(*seed)
-	} else {
-		study, err = repro.NewStudy(*seed)
-	}
-	if err == nil {
-		err = study.Save(*out)
-	}
-	if err != nil {
+	if err := run(os.Stdout, *seed, *out, *snapOut, *flagship); err != nil {
 		fmt.Fprintln(os.Stderr, "synthgen:", err)
 		os.Exit(1)
 	}
+}
+
+func run(w io.Writer, seed uint64, out, snapOut string, flagship bool) error {
+	var study *repro.Study
+	var err error
+	if flagship {
+		study, err = repro.NewFlagshipStudy(seed)
+	} else {
+		study, err = repro.NewStudy(seed)
+	}
+	if err != nil {
+		return err
+	}
 	d := study.Dataset()
-	fmt.Printf("wrote %s: %d conferences, %d papers, %d researchers\n",
-		*out, len(d.Conferences), len(d.Papers), len(d.Persons))
+	if out != "" {
+		if err := study.Save(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s: %d conferences, %d papers, %d researchers\n",
+			out, len(d.Conferences), len(d.Papers), len(d.Persons))
+	}
+	if snapOut != "" {
+		if err := study.SaveSnapshot(snapOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote snapshot %s\n", snapOut)
+	}
+	return nil
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestRunGeneratesLoadableCorpus: the CSV artifact synthgen writes must
+// load back into a study whose headline statistic matches a directly
+// generated study for the same seed.
+func TestRunGeneratesLoadableCorpus(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(&out, 7, dir, "", false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote "+dir) {
+		t.Errorf("output %q does not report the CSV directory", out.String())
+	}
+	loaded, err := repro.Load(dir)
+	if err != nil {
+		t.Fatalf("Load of generated corpus: %v", err)
+	}
+	direct, err := repro.NewStudy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.FAR().Overall, direct.FAR().Overall; got != want {
+		t.Errorf("loaded FAR %v differs from direct FAR %v", got, want)
+	}
+}
+
+// TestRunWritesOpenableSnapshot: -snap must produce a snapshot that opens
+// into a report byte-identical to the directly generated study's.
+func TestRunWritesOpenableSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.whpcsnap")
+	var out bytes.Buffer
+	if err := run(&out, 7, "", path, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote snapshot "+path) {
+		t.Errorf("output %q does not report the snapshot", out.String())
+	}
+	loaded, err := repro.OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshotFile: %v", err)
+	}
+	direct, err := repro.NewStudy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := direct.WriteReport(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteReport(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("report from snapshot-loaded study differs from directly generated study")
+	}
+}
+
+// TestRunFlagship covers the -flagship corpus selection.
+func TestRunFlagship(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(&bytes.Buffer{}, 7, dir, "", true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	loaded, err := repro.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flagship series spans SC/ISC 2016-2020: exactly 10 editions.
+	if n := len(loaded.Dataset().Conferences); n != 10 {
+		t.Errorf("flagship corpus has %d conferences, want 10", n)
+	}
+}

@@ -7,8 +7,13 @@
 // Usage:
 //
 //	whpcd [-addr :8171] [-seed 2021] [-fault-profile none]
-//	      [-cache-size 256] [-study-cache 4] [-max-inflight 64]
-//	      [-rate 0] [-burst 8] [-timeout 30s] [-drain 15s] [-quiet]
+//	      [-snapshot-dir DIR] [-cache-size 256] [-study-cache 4]
+//	      [-max-inflight 64] [-rate 0] [-burst 8] [-timeout 30s]
+//	      [-drain 15s] [-quiet]
+//
+// With -snapshot-dir, pristine studies warm-boot from <corpus>-<seed>.whpcsnap
+// files (written by synthgen -snap or whpc -snapshot-out) instead of
+// synthesizing; missing or invalid snapshots fall back to synthesis.
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
 // requests finish (bounded by -drain), then the process exits.
@@ -39,6 +44,7 @@ func run() error {
 		addr        = flag.String("addr", ":8171", "listen address")
 		seed        = flag.Uint64("seed", 2021, "default corpus seed for requests without ?seed=")
 		profile     = flag.String("fault-profile", "none", "default harvest fault profile for requests without ?profile= (none, clean, flaky, degraded, outage)")
+		snapDir     = flag.String("snapshot-dir", "", "directory of <corpus>-<seed>.whpcsnap files to warm-boot studies from")
 		cacheSize   = flag.Int("cache-size", 256, "max memoized exhibit renders")
 		studyCache  = flag.Int("study-cache", 4, "max resident materialized studies")
 		maxInflight = flag.Int("max-inflight", 64, "max concurrently served requests (excess get 503)")
@@ -53,6 +59,7 @@ func run() error {
 	cfg := serve.Config{
 		DefaultSeed:    *seed,
 		DefaultProfile: *profile,
+		SnapshotDir:    *snapDir,
 		CacheCap:       *cacheSize,
 		StudyCap:       *studyCache,
 		MaxInFlight:    *maxInflight,

@@ -18,8 +18,8 @@ import (
 func FloatCmpAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:  "floatcmp",
-		Doc:   "flag ==/!= and switch on floating-point operands in internal/stats, internal/core and internal/query",
-		Scope: []string{"internal/stats", "internal/core", "internal/query"},
+		Doc:   "flag ==/!= and switch on floating-point operands in internal/stats, internal/core, internal/query and internal/snap",
+		Scope: []string{"internal/stats", "internal/core", "internal/query", "internal/snap"},
 		Run:   runFloatCmp,
 	}
 }

@@ -96,6 +96,12 @@ func (d *Dict) Lookup(s string) (int32, bool) {
 // Value returns the string for a code.
 func (d *Dict) Value(c int32) string { return d.vals[c] }
 
+// Values returns a copy of the dictionary values in code order (code i is
+// Values()[i]); the snapshot codec serializes dictionaries through it.
+func (d *Dict) Values() []string {
+	return append([]string(nil), d.vals...)
+}
+
 // Len returns the dictionary cardinality.
 func (d *Dict) Len() int { return len(d.vals) }
 

@@ -36,6 +36,25 @@ func (f *Frame) ColumnNames() []string {
 	return out
 }
 
+// Columns returns the frame's columns in schema order. The snapshot
+// codec (internal/snap) iterates them to serialize a pre-built FrameSet;
+// callers must treat the columns as read-only.
+func (f *Frame) Columns() []*Column { return f.cols }
+
+// AssembleFrame reconstitutes a frame from deserialized columns. It is
+// the inverse accessor pair of Columns/NumRows for the snapshot codec;
+// the caller is responsible for column/row-count consistency (the
+// snapshot reader validates every structural invariant before calling).
+func AssembleFrame(name string, numRows int, cols []*Column) *Frame {
+	return newFrame(name, numRows, cols)
+}
+
+// AssembleFrameSet reconstitutes a FrameSet from deserialized frames, in
+// the given order (frame order fixes Names()).
+func AssembleFrameSet(frames []*Frame) *FrameSet {
+	return &FrameSet{frames: frames}
+}
+
 func newFrame(name string, n int, cols []*Column) *Frame {
 	f := &Frame{Name: name, NumRows: n, cols: cols, byName: make(map[string]*Column, len(cols))}
 	for _, c := range cols {

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/faulty"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/snap"
 	"repro/internal/synth"
 )
 
@@ -43,6 +45,14 @@ type Config struct {
 	DefaultProfile string
 	// StudyCap bounds resident materialized studies (default 4).
 	StudyCap int
+	// SnapshotDir, when set, is checked before synthesizing a pristine
+	// (profile-less) study: a file named <corpus>-<seed>.whpcsnap there is
+	// loaded instead of regenerating, which skips corpus synthesis and
+	// frame building. A missing or invalid snapshot falls back to
+	// synthesis (counted by whpcd_snapshot_fallbacks_total); harvested
+	// studies always synthesize, since the harvest is what's being asked
+	// for.
+	SnapshotDir string
 	// CacheCap bounds memoized exhibit renders (default 256).
 	CacheCap int
 	// MaxInFlight caps concurrently served requests; excess requests are
@@ -85,6 +95,9 @@ type metrics struct {
 
 	harvestRetries  *obs.Counter
 	harvestOutcomes *obs.CounterVec // outcome
+
+	snapshotLoads     *obs.Counter
+	snapshotFallbacks *obs.Counter
 }
 
 func newMetrics(r *obs.Registry) *metrics {
@@ -116,6 +129,10 @@ func newMetrics(r *obs.Registry) *metrics {
 			"Retried bibliometric lookup attempts across harvested-study materializations."),
 		harvestOutcomes: r.CounterVec("whpcd_harvest_outcomes_total",
 			"Per-researcher harvest outcomes across harvested-study materializations.", "outcome"),
+		snapshotLoads: r.Counter("whpcd_snapshot_loads_total",
+			"Studies materialized from a snapshot file instead of synthesized."),
+		snapshotFallbacks: r.Counter("whpcd_snapshot_fallbacks_total",
+			"Snapshot warm-path attempts that fell back to synthesis (missing, corrupt, or version-skewed file)."),
 	}
 	r.GaugeFunc("whpcd_exhibit_cache_hit_ratio",
 		"Fraction of exhibit-cache lookups served without rendering (hits+coalesced over all lookups); NaN before the first lookup.",
@@ -312,6 +329,17 @@ func (s *Server) buildStudy(key StudyKey) (*repro.Study, error) {
 		return nil, fmt.Errorf("serve: unknown corpus %q (have %v)", key.Corpus, Corpora())
 	}
 	if key.Profile == "" {
+		if s.cfg.SnapshotDir != "" {
+			path := filepath.Join(s.cfg.SnapshotDir, snap.CorpusFileName(key.Corpus, key.Seed))
+			if study, err := repro.OpenSnapshotFile(path); err == nil {
+				s.met.snapshotLoads.Inc()
+				return study, nil
+			}
+			// Missing, truncated, corrupt, or version-skewed snapshots all
+			// degrade to synthesis: corpora are deterministic per key, so
+			// the fallback serves identical bytes, just slower.
+			s.met.snapshotFallbacks.Inc()
+		}
 		return repro.NewStudyFromConfig(cfg)
 	}
 	return repro.NewObservedHarvestedStudy(cfg, key.Profile, repro.HarvestHooks{

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/snap"
+)
+
+// writeTestSnapshot saves the testSeed default-corpus snapshot under the
+// registry's warm-boot naming convention and returns the directory.
+func writeTestSnapshot(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	study, err := repro.NewStudy(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.SaveSnapshot(filepath.Join(dir, snap.CorpusFileName(CorpusDefault, testSeed))); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// metricValue scrapes one counter from the /metrics exposition text.
+func metricValue(t *testing.T, s *Server, name string) string {
+	t.Helper()
+	body := get(t, s, "/metrics").Body.String()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("metric %s not found in /metrics", name)
+	return ""
+}
+
+// TestSnapshotWarmBoot: with a valid snapshot present, the registry must
+// serve from it (loads counter increments) and the response bytes must be
+// identical to a synthesized study's.
+func TestSnapshotWarmBoot(t *testing.T) {
+	dir := writeTestSnapshot(t)
+	warm := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Metrics = obs.NewRegistry()
+	})
+	cold := newTestServer(t, nil)
+
+	warmRec := get(t, warm, "/v1/far")
+	coldRec := get(t, cold, "/v1/far")
+	if warmRec.Code != http.StatusOK || coldRec.Code != http.StatusOK {
+		t.Fatalf("status warm=%d cold=%d, want 200/200", warmRec.Code, coldRec.Code)
+	}
+	if warmRec.Body.String() != coldRec.Body.String() {
+		t.Error("/v1/far from a snapshot-loaded study differs from a synthesized one")
+	}
+	if got := metricValue(t, warm, "whpcd_snapshot_loads_total"); got != "1" {
+		t.Errorf("whpcd_snapshot_loads_total = %s, want 1", got)
+	}
+	if got := metricValue(t, warm, "whpcd_snapshot_fallbacks_total"); got != "0" {
+		t.Errorf("whpcd_snapshot_fallbacks_total = %s, want 0", got)
+	}
+}
+
+// TestSnapshotFallbackOnMiss: a SnapshotDir without the requested file
+// must synthesize and count a fallback, not fail the request.
+func TestSnapshotFallbackOnMiss(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = t.TempDir()
+		c.Metrics = obs.NewRegistry()
+	})
+	if rec := get(t, s, "/v1/far"); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if got := metricValue(t, s, "whpcd_snapshot_fallbacks_total"); got != "1" {
+		t.Errorf("whpcd_snapshot_fallbacks_total = %s, want 1", got)
+	}
+	if got := metricValue(t, s, "whpcd_snapshot_loads_total"); got != "0" {
+		t.Errorf("whpcd_snapshot_loads_total = %s, want 0", got)
+	}
+}
+
+// TestSnapshotFallbackOnCorruption: a bit-flipped snapshot must fail
+// checksum validation and degrade to synthesis with identical bytes.
+func TestSnapshotFallbackOnCorruption(t *testing.T) {
+	dir := writeTestSnapshot(t)
+	path := filepath.Join(dir, snap.CorpusFileName(CorpusDefault, testSeed))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Metrics = obs.NewRegistry()
+	})
+	cold := newTestServer(t, nil)
+	rec := get(t, s, "/v1/far")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if rec.Body.String() != get(t, cold, "/v1/far").Body.String() {
+		t.Error("fallback response differs from a synthesized study's")
+	}
+	if got := metricValue(t, s, "whpcd_snapshot_fallbacks_total"); got != "1" {
+		t.Errorf("whpcd_snapshot_fallbacks_total = %s, want 1", got)
+	}
+}
+
+// TestSnapshotNotUsedForHarvestedStudies: profile-carrying keys must
+// synthesize (the harvest is the product), never touch the snapshot dir.
+func TestSnapshotNotUsedForHarvestedStudies(t *testing.T) {
+	dir := writeTestSnapshot(t)
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Metrics = obs.NewRegistry()
+	})
+	if rec := get(t, s, "/v1/far?profile=clean"); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if got := metricValue(t, s, "whpcd_snapshot_loads_total"); got != "0" {
+		t.Errorf("whpcd_snapshot_loads_total = %s, want 0 for a harvested study", got)
+	}
+	if got := metricValue(t, s, "whpcd_snapshot_fallbacks_total"); got != "0" {
+		t.Errorf("whpcd_snapshot_fallbacks_total = %s, want 0 for a harvested study", got)
+	}
+}

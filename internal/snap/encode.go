@@ -1,0 +1,103 @@
+package snap
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// enc accumulates one section payload. All multi-byte fixed-width values
+// are little-endian; integers are varint-encoded (zigzag for signed), so
+// the payload is byte-deterministic for a given logical content.
+type enc struct {
+	buf []byte
+}
+
+// bytesOut returns the accumulated payload.
+func (e *enc) bytesOut() []byte { return e.buf }
+
+// uvarint appends an unsigned varint.
+func (e *enc) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// varint appends a zigzag-encoded signed varint.
+func (e *enc) varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// u8 appends one raw byte.
+func (e *enc) u8(v uint8) { e.buf = append(e.buf, v) }
+
+// bool appends a boolean as one byte (standalone flags; dense boolean
+// columns use bitmaps instead).
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// f64 appends a float64 as its fixed 8-byte IEEE-754 bit pattern. Fixed
+// width keeps the representation exact and the layout self-describing.
+func (e *enc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// str appends a length-prefixed string.
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// words appends a bitmap (or any uint64 vector) as a length-prefixed run
+// of fixed 8-byte words.
+func (e *enc) words(w []uint64) {
+	e.uvarint(uint64(len(w)))
+	for _, v := range w {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+	}
+}
+
+// strDict appends a string dictionary: cardinality then each value in
+// code order, so codes survive the round trip exactly.
+func (e *enc) strDict(vals []string) {
+	e.uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.str(v)
+	}
+}
+
+// intCol appends a signed integer column: length then zigzag varints.
+func (e *enc) intCol(vals []int64) {
+	e.uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.varint(v)
+	}
+}
+
+// codeCol appends a dictionary-code column: length then uvarints.
+func (e *enc) codeCol(codes []int32) {
+	e.uvarint(uint64(len(codes)))
+	for _, c := range codes {
+		e.uvarint(uint64(uint32(c)))
+	}
+}
+
+// floatCol appends a float column: length then fixed 8-byte values.
+func (e *enc) floatCol(vals []float64) {
+	e.uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.f64(v)
+	}
+}
+
+// strCol appends a raw (non-dictionary) string column: length then each
+// string. Used for high-cardinality columns (IDs, names, titles) where a
+// dictionary would only add indirection.
+func (e *enc) strCol(vals []string) {
+	e.uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.str(v)
+	}
+}

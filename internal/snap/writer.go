@@ -1,0 +1,194 @@
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// Writer assembles a snapshot and streams it to an io.Writer in one pass:
+// sections are encoded in memory as they are added (the directory at the
+// head of the file needs their offsets and checksums), then Close emits
+// header, directory, payloads and the trailing whole-file checksum.
+//
+// Usage:
+//
+//	sw := snap.NewWriter(f)
+//	sw.AddCorpus(study.Dataset())
+//	sw.AddFrames(study.Frames()) // optional
+//	err := sw.Close()
+type Writer struct {
+	dst      io.Writer
+	sections []wsection
+	counts   [3]int // persons, conferences, papers (for the meta section)
+	corpus   bool
+	frames   bool
+	closed   bool
+}
+
+type wsection struct {
+	name    string
+	payload []byte
+}
+
+// NewWriter returns a Writer that will emit the snapshot to dst on Close.
+func NewWriter(dst io.Writer) *Writer { return &Writer{dst: dst} }
+
+// AddCorpus encodes the three entity tables. It must be called exactly
+// once per snapshot. Encoding is deterministic: person rows are sorted by
+// ID, everything else follows the dataset's slice order.
+func (sw *Writer) AddCorpus(d *dataset.Dataset) error {
+	if sw.closed {
+		return fmt.Errorf("snap: AddCorpus on closed Writer")
+	}
+	if sw.corpus {
+		return fmt.Errorf("snap: AddCorpus called twice")
+	}
+	if d == nil {
+		return fmt.Errorf("snap: nil dataset")
+	}
+	ids := sortedPersonIDs(d)
+	personIdx := make(map[string]int, len(ids))
+	for i, id := range ids {
+		personIdx[id] = i
+	}
+	sw.counts = [3]int{len(d.Persons), len(d.Conferences), len(d.Papers)}
+	sw.sections = append(sw.sections,
+		wsection{SectionPersons, encodePersons(d, ids)},
+		wsection{SectionConferences, encodeConferences(d, personIdx)},
+		wsection{SectionPapers, encodePapers(d, personIdx)},
+	)
+	sw.corpus = true
+	return nil
+}
+
+// AddFrames encodes a pre-built columnar FrameSet so a warm boot can skip
+// the flattening pass. Optional; at most once.
+func (sw *Writer) AddFrames(fs *query.FrameSet) error {
+	if sw.closed {
+		return fmt.Errorf("snap: AddFrames on closed Writer")
+	}
+	if sw.frames {
+		return fmt.Errorf("snap: AddFrames called twice")
+	}
+	if fs == nil {
+		return fmt.Errorf("snap: nil frame set")
+	}
+	sw.sections = append(sw.sections, wsection{SectionFrames, encodeFrames(fs)})
+	sw.frames = true
+	return nil
+}
+
+// Close writes the assembled snapshot: header, section directory,
+// payloads, and the whole-file CRC-32 trailer. The Writer is unusable
+// afterwards.
+func (sw *Writer) Close() error {
+	if sw.closed {
+		return fmt.Errorf("snap: Close called twice")
+	}
+	sw.closed = true
+	if !sw.corpus {
+		return fmt.Errorf("snap: Close without AddCorpus")
+	}
+
+	meta := &enc{}
+	var flags uint64
+	if sw.frames {
+		flags |= flagHasFrames
+	}
+	meta.uvarint(flags)
+	meta.uvarint(uint64(sw.counts[0]))
+	meta.uvarint(uint64(sw.counts[1]))
+	meta.uvarint(uint64(sw.counts[2]))
+	sections := append([]wsection{{SectionMeta, meta.bytesOut()}}, sw.sections...)
+
+	// Directory size depends only on the (fixed-size) entries.
+	dirSize := 0
+	for _, s := range sections {
+		dirSize += 1 + len(s.name) + 8 + 8 + 4
+	}
+	offset := int64(headerSize + dirSize)
+
+	var head []byte
+	head = append(head, Magic...)
+	head = binary.LittleEndian.AppendUint16(head, FormatVersion)
+	head = binary.LittleEndian.AppendUint16(head, 0) // reserved
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(sections)))
+	for _, s := range sections {
+		head = append(head, byte(len(s.name)))
+		head = append(head, s.name...)
+		head = binary.LittleEndian.AppendUint64(head, uint64(offset))
+		head = binary.LittleEndian.AppendUint64(head, uint64(len(s.payload)))
+		head = binary.LittleEndian.AppendUint32(head, crc32.ChecksumIEEE(s.payload))
+		offset += int64(len(s.payload))
+	}
+
+	sum := crc32.NewIEEE()
+	out := io.MultiWriter(sw.dst, sum)
+	if _, err := out.Write(head); err != nil {
+		return fmt.Errorf("snap: writing header: %w", err)
+	}
+	for _, s := range sections {
+		if _, err := out.Write(s.payload); err != nil {
+			return fmt.Errorf("snap: writing section %q: %w", s.name, err)
+		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum.Sum32())
+	if _, err := sw.dst.Write(trailer[:]); err != nil {
+		return fmt.Errorf("snap: writing checksum trailer: %w", err)
+	}
+	return nil
+}
+
+// Write emits a complete snapshot of d (and fs, when non-nil) to w.
+func Write(w io.Writer, d *dataset.Dataset, fs *query.FrameSet) error {
+	sw := NewWriter(w)
+	if err := sw.AddCorpus(d); err != nil {
+		return err
+	}
+	if fs != nil {
+		if err := sw.AddFrames(fs); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// WriteFile writes a snapshot to path atomically: the bytes land in a
+// temporary sibling first and are renamed into place only after a clean
+// Close, so a crash mid-write never leaves a truncated snapshot behind
+// for a warm-boot path to trip over.
+func WriteFile(path string, d *dataset.Dataset, fs *query.FrameSet) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//whpcvet:ignore errcheck best-effort cleanup of the temp file on the error paths; the success path renamed it away
+		os.Remove(tmp.Name())
+	}()
+	if err := Write(tmp, d, fs); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+const (
+	headerSize    = 16 // magic(8) + version(2) + reserved(2) + section count(4)
+	flagHasFrames = 1 << 0
+)

@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose per-access instrumentation distorts the timing ratio
+// the snapshot warm-boot perf floor asserts.
+const raceEnabled = true

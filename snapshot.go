@@ -1,0 +1,53 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/snap"
+)
+
+// WriteSnapshot serializes the study's corpus and its columnar FrameSet
+// (built first if it has not been yet) into the binary .whpcsnap format.
+// A study opened from the snapshot produces byte-identical reports and
+// query results (see TestSnapshotRoundTripReport).
+func (s *Study) WriteSnapshot(w io.Writer) error {
+	return snap.Write(w, s.data, s.Frames())
+}
+
+// SaveSnapshot writes the snapshot atomically to path; a crash mid-write
+// never leaves a partial file behind.
+func (s *Study) SaveSnapshot(path string) error {
+	return snap.WriteFile(path, s.data, s.Frames())
+}
+
+// OpenSnapshot reads a snapshot written by WriteSnapshot from r. The
+// snapshot is fully validated (checksums, format version, structural
+// invariants, dataset referential integrity) before a Study is returned.
+func OpenSnapshot(r io.Reader) (*Study, error) {
+	d, fs, err := snap.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return studyFromSnapshot(d, fs), nil
+}
+
+// OpenSnapshotFile reads a snapshot file written by SaveSnapshot.
+func OpenSnapshotFile(path string) (*Study, error) {
+	d, fs, err := snap.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return studyFromSnapshot(d, fs), nil
+}
+
+func studyFromSnapshot(d *dataset.Dataset, fs *query.FrameSet) *Study {
+	s := &Study{data: d, scID: findSC(d)}
+	if fs != nil {
+		// Install the deserialized FrameSet where the lazy builder would
+		// have put it; Frames() then returns it without rebuilding.
+		s.framesOnce.Do(func() { s.frames = fs })
+	}
+	return s
+}
