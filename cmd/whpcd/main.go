@@ -9,14 +9,22 @@
 //	whpcd [-addr :8171] [-seed 2021] [-fault-profile none]
 //	      [-snapshot-dir DIR] [-cache-size 256] [-study-cache 4]
 //	      [-max-inflight 64] [-rate 0] [-burst 8] [-timeout 30s]
-//	      [-drain 15s] [-quiet]
+//	      [-drain-timeout 15s] [-quiet]
 //
 // With -snapshot-dir, pristine studies warm-boot from <corpus>-<seed>.whpcsnap
 // files (written by synthgen -snap or whpc -snapshot-out) instead of
-// synthesizing; missing or invalid snapshots fall back to synthesis.
+// synthesizing; missing or invalid snapshots fall back to synthesis. A
+// snapshot that fails validation twice is quarantined in place (renamed to
+// *.whpcsnap.quarantined) and never re-read; the study synthesizes instead.
+//
+// Fault handling is fail-operational: a panicking handler is contained to
+// its request (500 + whpcd_panics_total), and a failed re-render of an
+// evicted exhibit serves the previous identical bytes with a Warning
+// header (whpcd_stale_serves_total). Error-path events are reported as
+// JSON lines on stderr, separate from the access log.
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
-// requests finish (bounded by -drain), then the process exits.
+// requests finish (bounded by -drain-timeout), then the process exits.
 package main
 
 import (
@@ -51,7 +59,7 @@ func run() error {
 		rate        = flag.Float64("rate", 0, "per-route rate limit in requests/second (0 disables)")
 		burst       = flag.Int("burst", 8, "per-route rate-limit burst")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		drain       = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
 		quiet       = flag.Bool("quiet", false, "disable the JSON access log on stderr")
 	)
 	flag.Parse()
@@ -71,6 +79,10 @@ func run() error {
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
 	}
+	// Error-path events (panics, quarantines, stale serves, snapshot
+	// fallbacks) always reach stderr, even under -quiet: they are the
+	// operator's only record that the daemon degraded and why.
+	cfg.ErrorLog = os.Stderr
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,251 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// TestNoneNeverInjects: the production injector is inert for every point.
+func TestNoneNeverInjects(t *testing.T) {
+	for _, point := range Points() {
+		for i := 0; i < 100; i++ {
+			if f := None.Fire(point); f != nil {
+				t.Fatalf("None.Fire(%s) = %+v, want nil", point, f)
+			}
+		}
+	}
+	if Or(nil) != None {
+		t.Fatal("Or(nil) != None")
+	}
+	if s := NewScheduled(&Schedule{}); Or(s) != s {
+		t.Fatal("Or(inj) must pass a non-nil injector through")
+	}
+}
+
+// TestKindStrings: every kind renders a stable label (metric cardinality
+// depends on it).
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindError: "error", KindTorn: "torn", KindLatency: "latency",
+		KindPanic: "panic", KindCancel: "cancel",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind = %q", Kind(99).String())
+	}
+}
+
+// TestInjectedErrorIsTyped: injected errors are matchable with errors.Is
+// and name their point and kind.
+func TestInjectedErrorIsTyped(t *testing.T) {
+	err := Injected(PointRender, &Fault{Kind: KindError})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("errors.Is(%v, ErrInjected) = false", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{PointRender, "error", "injected fault"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestScheduleDeterminism: the same (profile, seed) always generates a
+// deeply equal schedule; different seeds diverge; different profile names
+// diverge under the same seed.
+func TestScheduleDeterminism(t *testing.T) {
+	p := ServeProfile()
+	a := p.Schedule(42)
+	b := p.Schedule(42)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n  %s\n  %s", a, b)
+	}
+	if len(a.Triggers) != p.Faults {
+		t.Fatalf("armed %d triggers, want %d", len(a.Triggers), p.Faults)
+	}
+	if c := p.Schedule(43); a.String() == c.String() {
+		t.Fatal("seeds 42 and 43 generated identical schedules")
+	}
+	q := p
+	q.Name = "serve2"
+	if d := q.Schedule(42); a.FiredEqualIgnoringName(d) {
+		t.Fatal("distinct profile names shared a fault stream under one seed")
+	}
+}
+
+// FiredEqualIgnoringName compares trigger sequences without the profile
+// label (test helper on Schedule).
+func (s *Schedule) FiredEqualIgnoringName(o *Schedule) bool {
+	if len(s.Triggers) != len(o.Triggers) {
+		return false
+	}
+	for i := range s.Triggers {
+		if s.Triggers[i] != o.Triggers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScheduleBounds: ordinals stay within [1, Horizon], points and kinds
+// within the declared sets, and no (point, hit) is armed twice.
+func TestScheduleBounds(t *testing.T) {
+	p := Profile{
+		Name:    "bounds",
+		Points:  []string{PointRequest, PointRender},
+		Kinds:   []Kind{KindError, KindPanic},
+		Faults:  12,
+		Horizon: 8,
+	}
+	s := p.Schedule(7)
+	seen := make(map[Trigger]bool)
+	validPoint := map[string]bool{PointRequest: true, PointRender: true}
+	validKind := map[Kind]bool{KindError: true, KindPanic: true}
+	for _, tr := range s.Triggers {
+		if tr.Hit < 1 || tr.Hit > p.Horizon {
+			t.Errorf("trigger %v: hit outside [1, %d]", tr, p.Horizon)
+		}
+		if !validPoint[tr.Point] || !validKind[tr.Fault.Kind] {
+			t.Errorf("trigger %v: outside declared point/kind sets", tr)
+		}
+		key := Trigger{Point: tr.Point, Hit: tr.Hit}
+		if seen[key] {
+			t.Errorf("(%s, %d) armed twice", tr.Point, tr.Hit)
+		}
+		seen[key] = true
+	}
+	// 12 requested but only 2*8=16 slots exist; the rejection budget may
+	// stop short, but never over-arm.
+	if len(s.Triggers) > 16 {
+		t.Fatalf("armed %d triggers into 16 slots", len(s.Triggers))
+	}
+	// Degenerate profiles arm nothing instead of spinning.
+	if got := (Profile{Name: "empty"}).Schedule(1); len(got.Triggers) != 0 {
+		t.Fatalf("empty profile armed %d triggers", len(got.Triggers))
+	}
+}
+
+// TestScheduledFiresOnArmedOrdinals: the injector fires exactly the armed
+// (point, hit) pairs, counts hits per point, and logs fired events in
+// order.
+func TestScheduledFiresOnArmedOrdinals(t *testing.T) {
+	sched := &Schedule{
+		Seed:    1,
+		Profile: "manual",
+		Triggers: []Trigger{
+			{Point: PointRequest, Hit: 2, Fault: Fault{Kind: KindError}},
+			{Point: PointRender, Hit: 1, Fault: Fault{Kind: KindPanic}},
+		},
+	}
+	inj := NewScheduled(sched)
+	if f := inj.Fire(PointRequest); f != nil {
+		t.Fatalf("request hit 1 fired %v, want nil", f)
+	}
+	if f := inj.Fire(PointRequest); f == nil || f.Kind != KindError {
+		t.Fatalf("request hit 2 = %+v, want error fault", f)
+	}
+	if f := inj.Fire(PointRequest); f != nil {
+		t.Fatalf("request hit 3 fired %v, want nil", f)
+	}
+	if f := inj.Fire(PointRender); f == nil || f.Kind != KindPanic {
+		t.Fatalf("render hit 1 = %+v, want panic fault", f)
+	}
+	if got := inj.Hits(PointRequest); got != 3 {
+		t.Fatalf("Hits(request) = %d, want 3", got)
+	}
+	if got := inj.FiredString(); got != "serve.request#2=error serve.render#1=panic" {
+		t.Fatalf("fired log = %q", got)
+	}
+}
+
+// TestScheduledReplay: two injectors armed from the same schedule, driven
+// by the same Fire sequence, produce identical fired logs — the replay
+// guarantee the serve chaos suite builds on.
+func TestScheduledReplay(t *testing.T) {
+	sched := ServeProfile().Schedule(99)
+	drive := func(inj *Scheduled) string {
+		for i := 0; i < 30; i++ {
+			inj.Fire(PointRequest)
+			if i%2 == 0 {
+				inj.Fire(PointRender)
+			}
+			if i%5 == 0 {
+				inj.Fire(PointMaterialize)
+			}
+			inj.Fire(PointClock)
+		}
+		return inj.FiredString()
+	}
+	a := drive(NewScheduled(sched))
+	b := drive(NewScheduled(sched))
+	if a != b {
+		t.Fatalf("replay diverged:\n  %s\n  %s", a, b)
+	}
+	if a == "" {
+		t.Fatal("schedule fired nothing over 30 rounds; horizon miscalibrated")
+	}
+}
+
+// TestWrapClock: latency faults stretch the sleep on the inner (virtual)
+// clock, error faults fail it typed, cancel faults return
+// context.Canceled, and an unwrapped clock passes through.
+func TestWrapClock(t *testing.T) {
+	start := time.Unix(0, 0)
+	inner := resilience.NewVirtualClock(start)
+	sched := &Schedule{Triggers: []Trigger{
+		{Point: PointClock, Hit: 1, Fault: Fault{Kind: KindLatency, Latency: 5 * time.Millisecond}},
+		{Point: PointClock, Hit: 2, Fault: Fault{Kind: KindError}},
+		{Point: PointClock, Hit: 3, Fault: Fault{Kind: KindCancel}},
+	}}
+	clock := WrapClock(inner, NewScheduled(sched))
+	ctx := context.Background()
+
+	if err := clock.Sleep(ctx, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Elapsed(start); got != 15*time.Millisecond {
+		t.Fatalf("latency spike elapsed %s, want 15ms", got)
+	}
+	if err := clock.Sleep(ctx, time.Millisecond); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error fault: err = %v, want ErrInjected", err)
+	}
+	if err := clock.Sleep(ctx, time.Millisecond); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel fault: err = %v, want context.Canceled", err)
+	}
+	// Hit 4 is unarmed: the sleep proceeds normally.
+	if err := clock.Sleep(ctx, time.Millisecond); err != nil {
+		t.Fatalf("unarmed sleep failed: %v", err)
+	}
+	if clock.Now() != inner.Now() {
+		t.Fatal("Now must pass through to the inner clock")
+	}
+	if got := WrapClock(inner, nil); got != inner {
+		t.Fatal("WrapClock(inner, nil) must return inner unchanged")
+	}
+	if got := WrapClock(inner, None); got != inner {
+		t.Fatal("WrapClock(inner, None) must return inner unchanged")
+	}
+}
+
+// TestStockProfilesGenerate: every stock profile arms its declared fault
+// count deterministically.
+func TestStockProfilesGenerate(t *testing.T) {
+	for _, p := range []Profile{ServeProfile(), SnapProfile(), IngestProfile()} {
+		s := p.Schedule(2021)
+		if len(s.Triggers) != p.Faults {
+			t.Errorf("profile %s armed %d, want %d", p.Name, len(s.Triggers), p.Faults)
+		}
+		if s.String() != p.Schedule(2021).String() {
+			t.Errorf("profile %s not deterministic", p.Name)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// Clock wraps a resilience.Clock with the clock.advance injection point:
+// every Sleep consults the injector first, so a schedule can stretch a
+// wait (latency spike), fail it (error), or cancel it outright. Now is
+// passed through untouched — chaos perturbs how long things take, never
+// what time it is, so latency metrics stay attributable.
+type Clock struct {
+	Inner resilience.Clock
+	Inj   Injector
+}
+
+// WrapClock returns inner with inj consulted on every Sleep; a nil inj
+// returns inner unchanged (no wrapper cost in production).
+func WrapClock(inner resilience.Clock, inj Injector) resilience.Clock {
+	if inj == nil || inj == None {
+		return inner
+	}
+	return Clock{Inner: inner, Inj: inj}
+}
+
+// Now returns the inner clock's time.
+func (c Clock) Now() time.Time { return c.Inner.Now() }
+
+// Sleep applies any armed clock.advance fault, then sleeps on the inner
+// clock: latency faults stretch the wait, error faults fail it, cancel
+// faults return context.Canceled, and panic faults panic (contained by
+// the caller's recovery layer).
+func (c Clock) Sleep(ctx context.Context, d time.Duration) error {
+	if f := c.Inj.Fire(PointClock); f != nil {
+		switch f.Kind {
+		case KindLatency:
+			d += f.Latency
+		case KindCancel:
+			return context.Canceled
+		case KindPanic:
+			panic(PanicValue{Point: PointClock})
+		default:
+			return Injected(PointClock, f)
+		}
+	}
+	return c.Inner.Sleep(ctx, d)
+}

@@ -1,0 +1,144 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// outcomeOf collapses a lookup result into a comparable label.
+func outcomeOf(inj *Injector, id string) string {
+	_, err := inj.Lookup(context.Background(), id)
+	if err == nil {
+		return "ok"
+	}
+	var rl *RateLimitError
+	switch {
+	case errors.As(err, &rl):
+		return "ratelimit"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrTransient):
+		return "transient"
+	case errors.Is(err, ErrOutage):
+		return "outage"
+	case errors.Is(err, ErrNotFound):
+		return "notfound"
+	default:
+		return "other"
+	}
+}
+
+// TestOutageZeroBudget: an outage window of zero (or negative) calls is no
+// outage at all — the very first call already sees the steady-state spec.
+func TestOutageZeroBudget(t *testing.T) {
+	dir := testDirectory(t, 10)
+	for _, budget := range []int{0, -1} {
+		inj := NewInjector(GSSource{Dir: dir}, FaultSpec{OutageCalls: budget}, 1,
+			resilience.NewVirtualClock(time.Unix(0, 0)))
+		for i := 0; i < 10; i++ {
+			id := fmt.Sprintf("p%03d", i)
+			if _, err := inj.Lookup(context.Background(), id); err != nil {
+				t.Fatalf("OutageCalls=%d call %d failed: %v", budget, i, err)
+			}
+		}
+		if inj.Calls() != 10 {
+			t.Errorf("OutageCalls=%d served %d calls, want 10", budget, inj.Calls())
+		}
+	}
+}
+
+// TestBackToBackFlakyWindows: two harvest "windows" run back to back. A
+// fresh injector per window replays the identical fault sequence (draws are
+// keyed by per-id attempt ordinal, which restarts with the instance), while
+// one injector spanning both windows keeps counting ordinals — the second
+// window continues the fault stream instead of repeating it.
+func TestBackToBackFlakyWindows(t *testing.T) {
+	dir := testDirectory(t, 20)
+	spec := Flaky().GS
+	const seed = 33
+	ids := make([]string, 20)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("p%03d", i)
+	}
+	window := func(inj *Injector) []string {
+		out := make([]string, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, outcomeOf(inj, id))
+		}
+		return out
+	}
+	clock := func() resilience.Clock { return resilience.NewVirtualClock(time.Unix(0, 0)) }
+
+	// Fresh instance per window: byte-for-byte replay.
+	w1 := window(NewInjector(GSSource{Dir: dir}, spec, seed, clock()))
+	w2 := window(NewInjector(GSSource{Dir: dir}, spec, seed, clock()))
+	if !reflect.DeepEqual(w1, w2) {
+		t.Errorf("fresh injectors diverged across windows:\n%v\nvs\n%v", w1, w2)
+	}
+
+	// One instance across both windows: ordinals advance, so the stream
+	// continues. (Vanished researchers stay vanished — that decision is
+	// per-id, not per-ordinal — so compare only non-vanished outcomes.)
+	shared := NewInjector(GSSource{Dir: dir}, spec, seed, clock())
+	c1, c2 := window(shared), window(shared)
+	if !reflect.DeepEqual(c1, w1) {
+		t.Errorf("first window of shared injector diverged from fresh injector:\n%v\nvs\n%v", c1, w1)
+	}
+	continued := false
+	for i := range c2 {
+		if c1[i] == "notfound" {
+			if c2[i] != "notfound" {
+				t.Errorf("id %s: vanish decision flipped between windows", ids[i])
+			}
+			continue
+		}
+		if c2[i] != c1[i] {
+			continued = true
+		}
+	}
+	if !continued {
+		t.Error("second window repeated the first verbatim; expected the fault stream to continue across windows")
+	}
+}
+
+// TestProfileDeterminismAcrossRuns: every named profile drives the identical
+// outcome sequence through two independent runs with the same seed, and a
+// different seed moves at least one fault (determinism is not degeneracy).
+func TestProfileDeterminismAcrossRuns(t *testing.T) {
+	dir := testDirectory(t, 40)
+	ids := make([]string, 40)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("p%03d", i)
+	}
+	run := func(spec FaultSpec, seed uint64) []string {
+		inj := NewInjector(GSSource{Dir: dir}, spec, seed, resilience.NewVirtualClock(time.Unix(0, 0)))
+		out := make([]string, 0, 2*len(ids))
+		for round := 0; round < 2; round++ {
+			for _, id := range ids {
+				out = append(out, outcomeOf(inj, id))
+			}
+		}
+		return out
+	}
+	anyDiverged := false
+	for _, prof := range []FaultProfile{Flaky(), Degraded(), Outage()} {
+		t.Run(prof.Name, func(t *testing.T) {
+			a, b := run(prof.GS, 77), run(prof.GS, 77)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("same seed diverged across runs:\n%v\nvs\n%v", a, b)
+			}
+			if !reflect.DeepEqual(a, run(prof.GS, 78)) {
+				anyDiverged = true
+			}
+		})
+	}
+	if !anyDiverged {
+		t.Error("seeds 77 and 78 produced identical fault streams for every profile")
+	}
+}

@@ -1,0 +1,98 @@
+package ingest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/faulty"
+	"repro/internal/synth"
+)
+
+// chaosHarvest runs a Workers=1 harvest of the main 2017 corpus under the
+// given faulty profile and chaos injector, returning the report. Workers=1
+// is what makes the Fire sequence — and therefore the fired-event log —
+// replayable (see Config.Chaos).
+func chaosHarvest(t *testing.T, seed uint64, prof faulty.FaultProfile, inj chaos.Injector) *HarvestReport {
+	t.Helper()
+	corpus, err := synth.Generate(synth.Default2017(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(corpus.GS, corpus.S2, Config{Seed: seed, Profile: prof, Workers: 1, Chaos: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(context.Background(), corpus.GS.IDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestChaosHarvestDeterministicReplay: the same chaos schedule over the
+// same Workers=1 harvest fires the identical fault sequence and yields the
+// identical report, run after run.
+func TestChaosHarvestDeterministicReplay(t *testing.T) {
+	run := func() (*HarvestReport, string) {
+		inj := chaos.NewScheduled(chaos.IngestProfile().Schedule(7))
+		rep := chaosHarvest(t, 7, faulty.Flaky(), inj)
+		return rep, inj.FiredString()
+	}
+	repA, firedA := run()
+	repB, firedB := run()
+	if firedA != firedB {
+		t.Errorf("fired-event log diverged between identical runs:\n%s\nvs\n%s", firedA, firedB)
+	}
+	if repA.String() != repB.String() {
+		t.Errorf("report diverged between identical runs:\n%s\nvs\n%s", repA, repB)
+	}
+	if !reflect.DeepEqual(repA.Outcomes, repB.Outcomes) {
+		t.Error("per-researcher outcomes diverged between identical chaos runs")
+	}
+}
+
+// TestChaosHarvestInjectedErrorRetried: a single injected lookup error is
+// absorbed by the retry loop — the final outcomes match the fault-free
+// baseline exactly, and only the retry counter shows the fault happened.
+func TestChaosHarvestInjectedErrorRetried(t *testing.T) {
+	baseline := chaosHarvest(t, 9, faulty.Clean(), nil)
+	inj := chaos.NewScheduled(&chaos.Schedule{Seed: 9, Profile: "manual", Triggers: []chaos.Trigger{
+		{Point: chaos.PointIngestLookup, Hit: 1, Fault: chaos.Fault{Kind: chaos.KindError}},
+	}})
+	rep := chaosHarvest(t, 9, faulty.Clean(), inj)
+	if got, want := inj.FiredString(), "ingest.lookup#1=error"; got != want {
+		t.Fatalf("fired = %q, want %q", got, want)
+	}
+	if rep.Retries == 0 {
+		t.Error("injected lookup error produced no retry")
+	}
+	if rep.Abandoned != 0 {
+		t.Errorf("retry did not absorb the single injected error: %d abandoned", rep.Abandoned)
+	}
+	if !reflect.DeepEqual(rep.Outcomes, baseline.Outcomes) {
+		t.Error("one retried injected error changed harvest outcomes vs fault-free baseline")
+	}
+}
+
+// TestChaosHarvestLatencyIsBenign: latency faults stall attempts on the
+// virtual clock but never change what the harvest concludes.
+func TestChaosHarvestLatencyIsBenign(t *testing.T) {
+	baseline := chaosHarvest(t, 5, faulty.Clean(), nil)
+	inj := chaos.NewScheduled(&chaos.Schedule{Seed: 5, Profile: "manual", Triggers: []chaos.Trigger{
+		{Point: chaos.PointIngestLookup, Hit: 3, Fault: chaos.Fault{Kind: chaos.KindLatency, Latency: 5 * time.Millisecond}},
+		{Point: chaos.PointIngestLookup, Hit: 8, Fault: chaos.Fault{Kind: chaos.KindLatency, Latency: 5 * time.Millisecond}},
+	}})
+	rep := chaosHarvest(t, 5, faulty.Clean(), inj)
+	if got := len(inj.Fired()); got != 2 {
+		t.Fatalf("fired %d latency faults, want 2 (%s)", got, inj.FiredString())
+	}
+	if rep.Retries != baseline.Retries {
+		t.Errorf("latency fault caused retries: %d vs baseline %d", rep.Retries, baseline.Retries)
+	}
+	if !reflect.DeepEqual(rep.Outcomes, baseline.Outcomes) {
+		t.Error("latency faults changed harvest outcomes vs fault-free baseline")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/faulty"
 	"repro/internal/resilience"
 	"repro/internal/scholar"
@@ -57,6 +58,18 @@ type Config struct {
 	// serving layer can export retry and outcome counters without waiting
 	// for the final report. The zero value disables observation.
 	Hooks Hooks
+
+	// Chaos is the deterministic fault injector consulted once per lookup
+	// attempt at chaos.PointIngestLookup, upstream of the per-service
+	// faulty.Injector (nil means no injection). Latency faults stall the
+	// attempt on the worker's virtual clock; every other kind degrades to a
+	// typed injected error that rides the same retry/breaker path as an
+	// organic transient. Replaying a chaos schedule hit-for-hit requires
+	// Workers=1: per-point hit ordinals are counted globally, so only a
+	// single sequential worker makes the Fire sequence — and therefore the
+	// fired-event log — identical run to run. (The *report* stays
+	// deterministic at any width; only fault *placement* needs Workers=1.)
+	Chaos chaos.Injector
 }
 
 // Hooks are optional harvest-telemetry callbacks. They fire concurrently
@@ -101,6 +114,7 @@ func (c Config) withDefaults() Config {
 	if c.RateBurst <= 0 {
 		c.RateBurst = 50
 	}
+	c.Chaos = chaos.Or(c.Chaos)
 	return c
 }
 
@@ -172,12 +186,13 @@ type worker struct {
 	s2    *sourceChain
 	rep   HarvestReport
 	hooks Hooks
+	chaos chaos.Injector
 }
 
 func (h *Harvester) newWorker(index, share int) *worker {
 	start := time.Unix(0, 0).UTC()
 	clock := resilience.NewVirtualClock(start)
-	w := &worker{clock: clock, start: start, hooks: h.cfg.Hooks}
+	w := &worker{clock: clock, start: start, hooks: h.cfg.Hooks, chaos: h.cfg.Chaos}
 	w.rep.Outcomes = make(map[string]Result, share)
 	// Distinct, deterministic seeds per worker and per service.
 	mix := func(tag uint64) uint64 {
@@ -239,6 +254,22 @@ func (c *sourceChain) lookup(ctx context.Context, id string) (scholar.Profile, e
 			// An open breaker sheds the whole lookup: not retryable
 			// against this service, fall back instead.
 			return resilience.Permanent(err)
+		}
+		if f := c.w.chaos.Fire(chaos.PointIngestLookup); f != nil {
+			switch f.Kind {
+			case chaos.KindLatency:
+				// The attempt still proceeds — just late, on the worker's
+				// virtual clock.
+				if err := c.w.clock.Sleep(ctx, f.Latency); err != nil {
+					return err
+				}
+			default:
+				// Every other kind degrades to a typed injected error that
+				// rides the same retry/breaker path as an organic transient.
+				err := chaos.Injected(chaos.PointIngestLookup, f)
+				c.breaker.Record(err)
+				return err
+			}
 		}
 		p, err := c.inj.Lookup(ctx, id)
 		c.classify(err)

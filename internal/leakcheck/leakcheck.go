@@ -1,0 +1,139 @@
+// Package leakcheck verifies that a test leaves no goroutines behind. It
+// snapshots the live goroutines when Check is called and diffs against a
+// fresh snapshot at cleanup, retrying over a short grace window so
+// goroutines that are mid-teardown (HTTP connections draining, singleflight
+// waiters unwinding) get a chance to exit before being called leaks.
+//
+// The package is test-only support code: it polls the real clock, because
+// goroutine teardown elapses in real time no matter what virtual clock the
+// code under test uses. It is exempt from the whpcvet determinism rule for
+// exactly that reason and must never be imported by shipped code.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long the cleanup diff keeps retrying before declaring the
+// surviving goroutines leaked. One second absorbs connection teardown and
+// scheduler lag without masking a real leak (a leaked goroutine is, by
+// definition, never going to exit).
+const grace = 1 * time.Second
+
+// pollEvery is the retry interval inside the grace window.
+const pollEvery = 10 * time.Millisecond
+
+// ignoredSubstrings marks goroutines that are runtime or test
+// infrastructure, not products of the code under test. A stanza containing
+// any of these is never reported.
+var ignoredSubstrings = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.runFuzzing(",
+	"runtime.goexit",
+	"runtime.MHeap_Scavenger",
+	"signal.signal_recv",
+	"created by runtime.gc",
+	"interestingGoroutines", // this package's own snapshot call
+	"os/signal.loop",
+}
+
+// Check installs a goroutine-leak assertion on t: at cleanup, any goroutine
+// that was not running when Check was called and still survives the grace
+// window fails the test with its full stack. Call it first thing in a test
+// (before starting servers or pools) so the baseline excludes nothing the
+// test created.
+func Check(t testing.TB) {
+	t.Helper()
+	before := interestingGoroutines()
+	t.Cleanup(func() {
+		var leaked []string
+		deadline := time.Now().Add(grace)
+		for {
+			leaked = leaked[:0]
+			for id, stack := range interestingGoroutines() {
+				if _, ok := before[id]; !ok {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(pollEvery)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// interestingGoroutines returns the current goroutines by id, excluding
+// runtime and test infrastructure. The returned stacks are full stanzas
+// from runtime.Stack, suitable for direct inclusion in a failure message.
+func interestingGoroutines() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		if stanza == "" || !strings.HasPrefix(stanza, "goroutine ") {
+			continue
+		}
+		if ignored(stanza) {
+			continue
+		}
+		header, _, ok := strings.Cut(stanza, "\n")
+		if !ok {
+			continue
+		}
+		// "goroutine 42 [running]:" → id "42".
+		fields := strings.Fields(header)
+		if len(fields) < 2 {
+			continue
+		}
+		out[fields[1]] = stanza
+	}
+	return out
+}
+
+func ignored(stanza string) bool {
+	for _, s := range ignoredSubstrings {
+		if strings.Contains(stanza, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns a human-readable dump of the currently interesting
+// goroutines — a debugging aid for tests that want to print state on an
+// unrelated failure.
+func Snapshot() string {
+	gs := interestingGoroutines()
+	ids := make([]string, 0, len(gs))
+	for id := range gs {
+		ids = append(ids, id)
+	}
+	// Order does not matter for a debug dump, but sort anyway so repeated
+	// dumps diff cleanly.
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s\n\n", gs[id])
+	}
+	return b.String()
+}

@@ -43,7 +43,11 @@ func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
 		Doc:  "forbid wall-clock reads outside internal/resilience and global math/rand functions everywhere",
-		Run:  runDeterminism,
+		// leakcheck is test-only support that polls real goroutine teardown,
+		// which elapses on the real clock regardless of any injected
+		// resilience.Clock; nothing it does can shape a response body.
+		Exempt: []string{"internal/leakcheck"},
+		Run:    runDeterminism,
 	}
 }
 

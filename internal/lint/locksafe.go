@@ -16,8 +16,8 @@ import (
 func LockSafeAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:  "locksafe",
-		Doc:   "flag callbacks and channel operations executed while a sync mutex is held in internal/resilience, internal/ingest, internal/serve, internal/obs, internal/query and internal/snap",
-		Scope: []string{"internal/resilience", "internal/ingest", "internal/serve", "internal/obs", "internal/query", "internal/snap"},
+		Doc:   "flag callbacks and channel operations executed while a sync mutex is held in internal/resilience, internal/ingest, internal/serve, internal/obs, internal/query, internal/snap and internal/chaos",
+		Scope: []string{"internal/resilience", "internal/ingest", "internal/serve", "internal/obs", "internal/query", "internal/snap", "internal/chaos"},
 		Run:   runLockSafe,
 	}
 }

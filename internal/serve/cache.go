@@ -2,6 +2,8 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/obs"
@@ -17,6 +19,13 @@ const (
 	// CacheCoalesced: another in-flight request was already rendering the
 	// same exhibit; this one waited for its bytes (singleflight).
 	CacheCoalesced = "coalesced"
+	// CacheStale: the render failed, but a previously rendered copy was
+	// still held in the stale store and was served instead (degraded mode;
+	// the response carries a Warning header). Because renders are
+	// deterministic per key, stale bytes are identical to what a successful
+	// re-render would have produced — staleness here means "rendered by an
+	// earlier request", never "out of date".
+	CacheStale = "stale"
 )
 
 // ExhibitCache memoizes rendered exhibit bytes under an LRU bound, with
@@ -24,6 +33,13 @@ const (
 // trigger exactly one render. Because every exhibit render is deterministic
 // for a given study, a cached response is byte-identical to a fresh one —
 // the cache changes latency, never content.
+//
+// A secondary stale store (same capacity) retains bytes evicted or purged
+// from the primary LRU. It is consulted only when a re-render fails: the
+// stale copy is served with the CacheStale outcome instead of surfacing
+// the error (stale-while-revalidate degraded mode). Context errors are
+// exempt — a caller whose deadline expired gets the context error, not a
+// consolation payload.
 type ExhibitCache struct {
 	flight group
 
@@ -32,11 +48,15 @@ type ExhibitCache struct {
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used; values are *cacheEntry
 
-	hits      *obs.Counter
-	misses    *obs.Counter
-	coalesced *obs.Counter
-	evictions *obs.Counter
-	resident  *obs.Gauge
+	stale    map[string]*list.Element
+	staleLRU *list.List // same discipline as lru; values are *cacheEntry
+
+	hits        *obs.Counter
+	misses      *obs.Counter
+	coalesced   *obs.Counter
+	evictions   *obs.Counter
+	staleServes *obs.Counter
+	resident    *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -46,8 +66,8 @@ type cacheEntry struct {
 
 // cacheCounters bundles the cache's metrics; any field may be nil.
 type cacheCounters struct {
-	hits, misses, coalesced, evictions *obs.Counter
-	resident                           *obs.Gauge
+	hits, misses, coalesced, evictions, staleServes *obs.Counter
+	resident                                        *obs.Gauge
 }
 
 // NewExhibitCache returns a cache bounded to capacity rendered exhibits
@@ -68,34 +88,46 @@ func NewExhibitCache(capacity int, c cacheCounters) *ExhibitCache {
 	if c.evictions == nil {
 		c.evictions = new(obs.Counter)
 	}
+	if c.staleServes == nil {
+		c.staleServes = new(obs.Counter)
+	}
 	if c.resident == nil {
 		c.resident = new(obs.Gauge)
 	}
 	return &ExhibitCache{
-		cap:       capacity,
-		entries:   make(map[string]*list.Element),
-		lru:       list.New(),
-		hits:      c.hits,
-		misses:    c.misses,
-		coalesced: c.coalesced,
-		evictions: c.evictions,
-		resident:  c.resident,
+		cap:         capacity,
+		entries:     make(map[string]*list.Element),
+		lru:         list.New(),
+		stale:       make(map[string]*list.Element),
+		staleLRU:    list.New(),
+		hits:        c.hits,
+		misses:      c.misses,
+		coalesced:   c.coalesced,
+		evictions:   c.evictions,
+		staleServes: c.staleServes,
+		resident:    c.resident,
 	}
 }
 
 // Get returns the bytes for key, invoking compute at most once across all
-// concurrent callers that miss. outcome is one of CacheHit, CacheMiss, and
-// CacheCoalesced. Callers must not mutate the returned slice. The misses
-// counter increments exactly when compute actually runs, so it doubles as
-// the render count. Errors are returned to every coalesced caller and
-// never cached.
-func (c *ExhibitCache) Get(key string, compute func() ([]byte, error)) (val []byte, outcome string, err error) {
+// concurrent callers that miss. outcome is one of CacheHit, CacheMiss,
+// CacheCoalesced, and CacheStale. Callers must not mutate the returned
+// slice. The misses counter increments exactly when compute actually runs,
+// so it doubles as the render count. Errors are returned to every
+// coalesced caller and never cached.
+//
+// ctx bounds only this caller's wait on a coalesced render and is passed
+// through to compute; an expired ctx abandons the wait without cancelling
+// the shared render. When compute fails with a non-context error and the
+// stale store still holds bytes for key, those bytes are served with the
+// CacheStale outcome instead of the error.
+func (c *ExhibitCache) Get(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) (val []byte, outcome string, err error) {
 	if b, ok := c.lookup(key); ok {
 		c.hits.Inc()
 		return b, CacheHit, nil
 	}
 	computed := false
-	val, shared, err := c.flight.Do(key, func() ([]byte, error) {
+	val, shared, err := c.flight.Do(ctx, key, func() ([]byte, error) {
 		// Re-check under the flight: a render that completed between our
 		// lookup and Do has already inserted the bytes.
 		if b, ok := c.lookup(key); ok {
@@ -103,7 +135,7 @@ func (c *ExhibitCache) Get(key string, compute func() ([]byte, error)) (val []by
 		}
 		computed = true
 		c.misses.Inc()
-		b, err := compute()
+		b, err := compute(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -111,6 +143,12 @@ func (c *ExhibitCache) Get(key string, compute func() ([]byte, error)) (val []by
 		return b, nil
 	})
 	if err != nil {
+		if !isContextError(err) {
+			if b, ok := c.staleLookup(key); ok {
+				c.staleServes.Inc()
+				return b, CacheStale, nil
+			}
+		}
 		return nil, CacheMiss, err
 	}
 	switch {
@@ -125,6 +163,13 @@ func (c *ExhibitCache) Get(key string, compute func() ([]byte, error)) (val []by
 	}
 }
 
+// isContextError reports whether err is (or wraps) a context cancellation
+// or deadline expiry — failures where the requester is gone and degraded
+// serving is pointless.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Len returns the number of resident entries.
 func (c *ExhibitCache) Len() int {
 	c.mu.Lock()
@@ -133,10 +178,25 @@ func (c *ExhibitCache) Len() int {
 	return n
 }
 
+// StaleLen returns the number of entries held only in the stale store.
+func (c *ExhibitCache) StaleLen() int {
+	c.mu.Lock()
+	n := c.staleLRU.Len()
+	c.mu.Unlock()
+	return n
+}
+
 // Purge drops every resident entry (used by benchmarks to measure cold
-// renders); in-flight computes are unaffected.
+// renders); in-flight computes are unaffected. Purged bytes move to the
+// stale store, so a purge never degrades fail-operational coverage — it
+// only forces the next request per key to re-render.
 func (c *ExhibitCache) Purge() {
 	c.mu.Lock()
+	// Walk the LRU list (deterministic order), not the map, spilling each
+	// entry into the stale store before dropping the primary.
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		c.spill(el.Value.(*cacheEntry))
+	}
 	c.entries = make(map[string]*list.Element)
 	c.lru = list.New()
 	c.resident.Set(0)
@@ -157,10 +217,29 @@ func (c *ExhibitCache) lookup(key string) ([]byte, bool) {
 	return b, true
 }
 
+// staleLookup returns the stale-store bytes for key, if any.
+func (c *ExhibitCache) staleLookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.stale[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.staleLRU.MoveToFront(el)
+	b := el.Value.(*cacheEntry).val
+	c.mu.Unlock()
+	return b, true
+}
+
 // insert stores key's bytes, evicting least-recently-used entries over
-// capacity.
+// capacity (evicted bytes spill into the stale store). A fresh render
+// supersedes any stale copy of the same key.
 func (c *ExhibitCache) insert(key string, val []byte) {
 	c.mu.Lock()
+	if el, ok := c.stale[key]; ok {
+		c.staleLRU.Remove(el)
+		delete(c.stale, key)
+	}
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		el.Value.(*cacheEntry).val = val
@@ -171,9 +250,27 @@ func (c *ExhibitCache) insert(key string, val []byte) {
 	for c.lru.Len() > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		entry := oldest.Value.(*cacheEntry)
+		delete(c.entries, entry.key)
+		c.spill(entry)
 		c.evictions.Inc()
 	}
 	c.resident.Set(int64(c.lru.Len()))
 	c.mu.Unlock()
+}
+
+// spill moves an entry into the stale store, bounded to the same capacity.
+// Callers must hold c.mu.
+func (c *ExhibitCache) spill(e *cacheEntry) {
+	if el, ok := c.stale[e.key]; ok {
+		c.staleLRU.MoveToFront(el)
+		el.Value.(*cacheEntry).val = e.val
+		return
+	}
+	c.stale[e.key] = c.staleLRU.PushFront(e)
+	for c.staleLRU.Len() > c.cap {
+		oldest := c.staleLRU.Back()
+		c.staleLRU.Remove(oldest)
+		delete(c.stale, oldest.Value.(*cacheEntry).key)
+	}
 }

@@ -2,9 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faulty"
@@ -58,17 +59,18 @@ func (s *Server) parseStudyKey(r *http.Request) (StudyKey, error) {
 }
 
 // study resolves the request's study, writing the error response itself
-// (400 for bad parameters, 500 for a failed materialization) and returning
-// ok=false when the handler should bail.
+// (400 for bad parameters, mapped status for a failed materialization) and
+// returning ok=false when the handler should bail. The request context
+// bounds the wait on a shared in-flight materialization.
 func (s *Server) study(w http.ResponseWriter, r *http.Request) (*repro.Study, StudyKey, bool) {
 	key, err := s.parseStudyKey(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return nil, key, false
 	}
-	st, err := s.studies.Get(key)
+	st, err := s.studies.Get(r.Context(), key)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("materializing study (%s): %v", key, err), http.StatusInternalServerError)
+		s.writeError(w, fmt.Errorf("materializing study (%s): %w", key, err))
 		return nil, key, false
 	}
 	return st, key, true
@@ -76,27 +78,36 @@ func (s *Server) study(w http.ResponseWriter, r *http.Request) (*repro.Study, St
 
 // serveCached answers the request from the exhibit cache, rendering with
 // compute on a miss. The cache key must uniquely determine the bytes (it
-// embeds the study key and route); the X-Cache header reports hit, miss, or
-// coalesced. Render time for actual computes feeds whpcd_render_seconds.
-func (s *Server) serveCached(w http.ResponseWriter, cacheKey, contentType string, compute func() ([]byte, error)) {
-	body, outcome, err := s.cache.Get(cacheKey, func() ([]byte, error) {
+// embeds the study key and route); the X-Cache header reports hit, miss,
+// coalesced, or stale. Render time for actual computes feeds
+// whpcd_render_seconds. The request context propagates into the render:
+// an expired deadline aborts before computing (504), and a stale-store
+// copy is served with a Warning header when a re-render fails.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, cacheKey, contentType string, compute func() ([]byte, error)) {
+	body, outcome, err := s.cache.Get(r.Context(), cacheKey, func(ctx context.Context) ([]byte, error) {
+		if injected, ferr := s.renderFault(ctx, chaos.PointRender); injected {
+			return nil, ferr
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		start := s.clock.Now()
 		b, err := compute()
 		s.met.renders.ObserveDuration(s.clock.Now().Sub(start))
 		return b, err
 	})
 	if err != nil {
-		if errors.Is(err, core.ErrNotApplicable) {
-			http.Error(w, fmt.Sprintf("not applicable to this corpus: %v", err), http.StatusUnprocessableEntity)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.writeError(w, err)
 		return
 	}
 	h := w.Header()
 	h.Set("Content-Type", contentType)
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	h.Set("X-Cache", outcome)
+	if outcome == CacheStale {
+		h.Set("Warning", `110 whpcd "stale: re-render failed; bytes are from an earlier identical render"`)
+		s.logError(fmt.Sprintf("stale serve for %s", cacheKey))
+	}
 	_, _ = w.Write(body)
 }
 
@@ -224,7 +235,7 @@ func (s *Server) handleFAR(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, "far|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "far|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
 		far := st.FAR()
 		dto := farDTO{
 			Study:         dtoStudy(key),
@@ -252,7 +263,7 @@ func (s *Server) handleRoles(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, "roles|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "roles|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
 		tab := st.Roles()
 		dto := rolesDTO{
 			Study:       dtoStudy(key),
@@ -282,7 +293,7 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, "sensitivity|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "sensitivity|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
 		res, err := st.Sensitivity()
 		if err != nil {
 			return nil, err
@@ -309,7 +320,7 @@ func (s *Server) handleExhibitList(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, "exhibits|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "exhibits|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
 		exhibits := st.Exhibits()
 		out := make([]exhibitDTO, 0, len(exhibits))
 		for _, e := range exhibits {
@@ -335,7 +346,7 @@ func (s *Server) handleExhibit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown exhibit %q (list them at /v1/exhibits)", id), http.StatusNotFound)
 		return
 	}
-	s.serveCached(w, "exhibit|"+id+"|"+key.String(), "text/plain; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "exhibit|"+id+"|"+key.String(), "text/plain; charset=utf-8", func() ([]byte, error) {
 		var buf bytes.Buffer
 		if err := ex.Render(&buf); err != nil {
 			return nil, err
@@ -351,7 +362,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, "report|"+key.String(), "text/plain; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "report|"+key.String(), "text/plain; charset=utf-8", func() ([]byte, error) {
 		var buf bytes.Buffer
 		if err := st.WriteReport(&buf); err != nil {
 			return nil, err
@@ -378,7 +389,7 @@ func (s *Server) handleCSV(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown csv export %q (have %v)", name, names), http.StatusNotFound)
 		return
 	}
-	s.serveCached(w, "csv|"+name+"|"+key.String(), "text/csv; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "csv|"+name+"|"+key.String(), "text/csv; charset=utf-8", func() ([]byte, error) {
 		rows, err := exp.Rows()
 		if err != nil {
 			return nil, err

@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 
+	"repro/internal/chaos"
 	"repro/internal/query"
 )
 
@@ -64,9 +66,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	st, err := s.studies.Get(key)
+	st, err := s.studies.Get(r.Context(), key)
 	if err != nil {
-		writeQueryError(w, http.StatusInternalServerError,
+		writeQueryError(w, errorStatus(err),
 			fmt.Sprintf("materializing study (%s): %v", key, err))
 		return
 	}
@@ -78,7 +80,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		contentType = "text/csv; charset=utf-8"
 	}
 	cacheKey := "query|" + q.Hash() + "|" + key.String()
-	out, outcome, err := s.cache.Get(cacheKey, func() ([]byte, error) {
+	out, outcome, err := s.cache.Get(r.Context(), cacheKey, func(ctx context.Context) ([]byte, error) {
+		if injected, ferr := s.renderFault(ctx, chaos.PointRender); injected {
+			return nil, ferr
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		start := s.clock.Now()
 		defer func() { s.met.renders.ObserveDuration(s.clock.Now().Sub(start)) }()
 		res, err := st.Query(q)
@@ -95,7 +103,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, query.ErrEmpty):
 			writeQueryError(w, http.StatusUnprocessableEntity, err.Error())
 		default:
-			writeQueryError(w, http.StatusInternalServerError, err.Error())
+			writeQueryError(w, errorStatus(err), err.Error())
 		}
 		return
 	}
@@ -104,5 +112,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	h.Set("Content-Type", contentType)
 	h.Set("Content-Length", strconv.Itoa(len(out)))
 	h.Set("X-Cache", outcome)
+	if outcome == CacheStale {
+		h.Set("Warning", `110 whpcd "stale: re-render failed; bytes are from an earlier identical render"`)
+	}
 	_, _ = w.Write(out)
 }

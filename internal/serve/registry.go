@@ -2,6 +2,8 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"sync"
@@ -9,6 +11,12 @@ import (
 	"repro"
 	"repro/internal/obs"
 )
+
+// ErrBuildPanicked is what coalesced waiters receive when the caller
+// actually materializing their shared study panicked. The panic itself
+// propagates up the building caller's stack (where the middleware recover
+// counts it); waiters get this typed error instead of a hang.
+var ErrBuildPanicked = errors.New("serve: study materialization panicked")
 
 // Corpus names accepted by the API: each maps to one of the calibrated
 // synth configurations.
@@ -109,16 +117,42 @@ func NewStudyRegistry(capacity int, build func(StudyKey) (*repro.Study, error), 
 // Get returns the study for key, materializing it on first use. Concurrent
 // Gets for the same key share one materialization. A failed materialization
 // is not retained: the next Get for that key tries again.
-func (r *StudyRegistry) Get(key StudyKey) (*repro.Study, error) {
+//
+// ctx bounds only this caller's wait on an in-flight materialization; the
+// build itself is never cancelled, because other waiters (and future
+// requests) still want the study. If the build panics, the latch is failed
+// with ErrBuildPanicked before the panic resumes unwinding, so no waiter
+// hangs and the panic is still counted by the middleware recover.
+func (r *StudyRegistry) Get(ctx context.Context, key StudyKey) (*repro.Study, error) {
 	e, fresh := r.entry(key)
 	if fresh {
+		finished := false
+		defer func() {
+			if !finished {
+				e.err = ErrBuildPanicked
+				r.forget(key, e)
+				close(e.done)
+			}
+		}()
 		e.study, e.err = r.build(key)
+		finished = true
 		if e.err == nil {
 			r.materialized.Inc()
 		}
 		close(e.done)
 	} else {
-		<-e.done
+		// A finished materialization wins over a cancelled context: when
+		// both channels are ready, Go's select picks randomly, and replay
+		// determinism requires completed work to be served, not raced.
+		select {
+		case <-e.done:
+		default:
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
 	}
 	if e.err != nil {
 		r.forget(key, e)

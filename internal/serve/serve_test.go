@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/leakcheck"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 )
@@ -96,6 +97,7 @@ func TestReportByteIdentity(t *testing.T) {
 // and asserts exactly one underlying render ran and every caller got the
 // same bytes.
 func TestReportSingleflight(t *testing.T) {
+	leakcheck.Check(t)
 	s := newTestServer(t, nil)
 
 	const clients = 32
@@ -139,6 +141,7 @@ func TestReportSingleflight(t *testing.T) {
 // inside a handler, cancels the serve context, and verifies the in-flight
 // request still completes before Serve returns.
 func TestGracefulDrain(t *testing.T) {
+	leakcheck.Check(t)
 	s := newTestServer(t, nil)
 	entered := make(chan struct{})
 	release := make(chan struct{})
@@ -217,7 +220,7 @@ func TestStudyRegistryLRU(t *testing.T) {
 		{Seed: 3, Corpus: CorpusDefault},
 	}
 	for _, k := range keys {
-		if _, err := reg.Get(k); err != nil {
+		if _, err := reg.Get(context.Background(), k); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -228,13 +231,13 @@ func TestStudyRegistryLRU(t *testing.T) {
 		t.Fatalf("resident = %d, want 2 (capacity)", got)
 	}
 	// Key 3 is hot; key 1 was evicted; key 2 is still resident.
-	if _, err := reg.Get(keys[2]); err != nil {
+	if _, err := reg.Get(context.Background(), keys[2]); err != nil {
 		t.Fatal(err)
 	}
 	if got := builds.Load(); got != 3 {
 		t.Fatalf("hot key rebuilt: builds = %d, want 3", got)
 	}
-	if _, err := reg.Get(keys[0]); err != nil {
+	if _, err := reg.Get(context.Background(), keys[0]); err != nil {
 		t.Fatal(err)
 	}
 	if got := builds.Load(); got != 4 {
@@ -261,10 +264,10 @@ func TestStudyRegistryDoesNotCacheFailures(t *testing.T) {
 		return okStudy, nil
 	}, nil, nil, nil)
 	key := StudyKey{Seed: 9, Corpus: CorpusDefault}
-	if _, err := reg.Get(key); err == nil {
+	if _, err := reg.Get(context.Background(), key); err == nil {
 		t.Fatal("first Get should fail")
 	}
-	if got, err := reg.Get(key); err != nil || got != okStudy {
+	if got, err := reg.Get(context.Background(), key); err != nil || got != okStudy {
 		t.Fatalf("second Get = (%v, %v), want retry success", got, err)
 	}
 	if builds.Load() != 2 {
@@ -275,8 +278,8 @@ func TestStudyRegistryDoesNotCacheFailures(t *testing.T) {
 func TestExhibitCacheLRUAndErrors(t *testing.T) {
 	var computes atomic.Int64
 	c := NewExhibitCache(2, cacheCounters{})
-	compute := func(v string) func() ([]byte, error) {
-		return func() ([]byte, error) {
+	compute := func(v string) func(context.Context) ([]byte, error) {
+		return func(context.Context) ([]byte, error) {
 			computes.Add(1)
 			return []byte(v), nil
 		}
@@ -290,7 +293,7 @@ func TestExhibitCacheLRUAndErrors(t *testing.T) {
 		{"c", "C", CacheMiss}, // evicts a
 		{"a", "A", CacheMiss}, // rebuilt
 	} {
-		got, outcome, err := c.Get(step.key, compute(strings.ToUpper(step.key)))
+		got, outcome, err := c.Get(context.Background(), step.key, compute(strings.ToUpper(step.key)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -308,7 +311,7 @@ func TestExhibitCacheLRUAndErrors(t *testing.T) {
 	// Errors are never cached.
 	fail := true
 	for i := 0; i < 2; i++ {
-		_, _, err := c.Get("err", func() ([]byte, error) {
+		_, _, err := c.Get(context.Background(), "err", func(context.Context) ([]byte, error) {
 			if fail {
 				fail = false
 				return nil, fmt.Errorf("render exploded")
@@ -335,7 +338,7 @@ func TestSingleflightGroup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, shared, err := g.Do("k", func() ([]byte, error) {
+			v, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) {
 				runs.Add(1)
 				<-gate
 				return []byte("v"), nil

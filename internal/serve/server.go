@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/faulty"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -75,6 +76,15 @@ type Config struct {
 	Metrics *obs.Registry
 	// AccessLog receives one JSON line per request (nil disables logging).
 	AccessLog io.Writer
+	// ErrorLog receives one JSON line per server-side degradation event —
+	// contained panics, snapshot fallbacks and quarantines, stale serves
+	// (nil disables logging).
+	ErrorLog io.Writer
+	// Chaos, when non-nil, injects scheduled faults at the server's named
+	// injection points (serve.request, serve.render, serve.materialize,
+	// snap.read, snap.decode). Production servers leave it nil
+	// (chaos.None); the chaos suite arms it with a seeded schedule.
+	Chaos chaos.Injector
 }
 
 // metrics bundles the server's instruments.
@@ -96,8 +106,13 @@ type metrics struct {
 	harvestRetries  *obs.Counter
 	harvestOutcomes *obs.CounterVec // outcome
 
-	snapshotLoads     *obs.Counter
-	snapshotFallbacks *obs.Counter
+	snapshotLoads       *obs.Counter
+	snapshotFallbacks   *obs.Counter
+	snapshotQuarantines *obs.Counter
+
+	panics        *obs.Counter
+	staleServes   *obs.Counter
+	chaosInjected *obs.CounterVec // point
 }
 
 func newMetrics(r *obs.Registry) *metrics {
@@ -133,6 +148,14 @@ func newMetrics(r *obs.Registry) *metrics {
 			"Studies materialized from a snapshot file instead of synthesized."),
 		snapshotFallbacks: r.Counter("whpcd_snapshot_fallbacks_total",
 			"Snapshot warm-path attempts that fell back to synthesis (missing, corrupt, or version-skewed file)."),
+		snapshotQuarantines: r.Counter("whpcd_snapshot_quarantines_total",
+			"Snapshot files renamed aside after failing decode twice; quarantined files are never re-read."),
+		panics: r.Counter("whpcd_panics_total",
+			"Handler panics contained by the recovery middleware; the daemon kept serving."),
+		staleServes: r.Counter("whpcd_stale_serves_total",
+			"Responses served from the stale exhibit store because re-rendering failed (degraded mode)."),
+		chaosInjected: r.CounterVec("whpcd_chaos_injected_total",
+			"Faults actually fired by the chaos injector, by injection point (always 0 in production).", "point"),
 	}
 	r.GaugeFunc("whpcd_exhibit_cache_hit_ratio",
 		"Fraction of exhibit-cache lookups served without rendering (hits+coalesced over all lookups); NaN before the first lookup.",
@@ -152,10 +175,12 @@ type Server struct {
 	studies  *StudyRegistry
 	cache    *ExhibitCache
 	met      *metrics
+	inj      chaos.Injector
 	inflight chan struct{}
 	limiters map[string]*resilience.TokenBucket
 
 	logMu sync.Mutex // serializes access-log lines
+	errMu sync.Mutex // serializes error-log lines
 }
 
 // New builds a Server from cfg, wiring the study registry, exhibit cache,
@@ -197,19 +222,26 @@ func New(cfg Config) (*Server, error) {
 		clock:    cfg.Clock,
 		mux:      http.NewServeMux(),
 		met:      m,
+		inj:      chaos.None,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		limiters: make(map[string]*resilience.TokenBucket),
+	}
+	if cfg.Chaos != nil && cfg.Chaos != chaos.None {
+		// Wrap once so every fired fault — including snap-layer firings
+		// inside snapshot loads — lands in whpcd_chaos_injected_total.
+		s.inj = countingInjector{inner: cfg.Chaos, fired: m.chaosInjected}
 	}
 	s.studies = NewStudyRegistry(cfg.StudyCap, s.buildStudy,
 		cfg.Metrics.Counter("whpcd_studies_materialized_total", "Studies materialized by the registry."),
 		cfg.Metrics.Counter("whpcd_study_evictions_total", "Studies evicted from the registry LRU."),
 		cfg.Metrics.Gauge("whpcd_studies_resident", "Studies currently resident in the registry."))
 	s.cache = NewExhibitCache(cfg.CacheCap, cacheCounters{
-		hits:      m.cacheHits,
-		misses:    m.cacheMisses,
-		coalesced: m.cacheCoalesced,
-		evictions: cfg.Metrics.Counter("whpcd_exhibit_cache_evictions_total", "Rendered exhibits evicted from the cache LRU."),
-		resident:  cfg.Metrics.Gauge("whpcd_exhibit_cache_entries", "Rendered exhibits currently resident in the cache."),
+		hits:        m.cacheHits,
+		misses:      m.cacheMisses,
+		coalesced:   m.cacheCoalesced,
+		staleServes: m.staleServes,
+		evictions:   cfg.Metrics.Counter("whpcd_exhibit_cache_evictions_total", "Rendered exhibits evicted from the cache LRU."),
+		resident:    cfg.Metrics.Gauge("whpcd_exhibit_cache_entries", "Rendered exhibits currently resident in the cache."),
 	})
 
 	s.route("GET /healthz", s.handleHealthz)
@@ -256,8 +288,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) PurgeExhibitCache() { s.cache.Purge() }
 
 // wrap applies the middleware chain to one route: in-flight cap (503),
-// per-route token bucket (429), request timeout, latency/status metrics,
-// and the access log.
+// per-route token bucket (429), request timeout, panic containment,
+// latency/status metrics, and the access log.
 func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.clock.Now()
@@ -267,6 +299,18 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 			s.met.requests.With(route, strconv.Itoa(rw.status())).Inc()
 			s.met.latency.With(route).ObserveDuration(elapsed)
 			s.logAccess(r, route, rw, elapsed)
+		}()
+		// Panic containment: registered after the metrics defer so a
+		// contained panic's 500 is still counted and logged. The daemon
+		// keeps serving — one poisoned request never takes the process.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.Inc()
+				s.logError(fmt.Sprintf("panic serving %s %s: %v", r.Method, route, rec))
+				if rw.code == 0 {
+					http.Error(rw, "internal server error", http.StatusInternalServerError)
+				}
+			}
 		}()
 
 		select {
@@ -289,6 +333,24 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		if f := s.fire(chaos.PointRequest); f != nil {
+			switch f.Kind {
+			case chaos.KindLatency:
+				if err := s.clock.Sleep(ctx, f.Latency); err != nil {
+					s.writeError(rw, err)
+					return
+				}
+			case chaos.KindCancel:
+				// The handler proceeds with an already-cancelled context,
+				// exercising deadline propagation end to end.
+				cancel()
+			case chaos.KindPanic:
+				panic(chaos.PanicValue{Point: chaos.PointRequest})
+			default:
+				s.writeError(rw, chaos.Injected(chaos.PointRequest, f))
+				return
+			}
+		}
 		h(rw, r.WithContext(ctx))
 	})
 }
@@ -317,6 +379,22 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 // buildStudy materializes the study for a registry key, threading harvest
 // telemetry into the metrics registry for fault-profile keys.
 func (s *Server) buildStudy(key StudyKey) (*repro.Study, error) {
+	if f := s.fire(chaos.PointMaterialize); f != nil {
+		switch f.Kind {
+		case chaos.KindLatency:
+			// Builds outlast any one request (the registry shares them), so
+			// the stretch elapses on a background context.
+			if err := s.clock.Sleep(context.Background(), f.Latency); err != nil {
+				return nil, err
+			}
+		case chaos.KindPanic:
+			panic(chaos.PanicValue{Point: chaos.PointMaterialize})
+		case chaos.KindCancel:
+			return nil, context.Canceled
+		default:
+			return nil, chaos.Injected(chaos.PointMaterialize, f)
+		}
+	}
 	var cfg synth.Config
 	switch key.Corpus {
 	case CorpusDefault:
@@ -331,14 +409,18 @@ func (s *Server) buildStudy(key StudyKey) (*repro.Study, error) {
 	if key.Profile == "" {
 		if s.cfg.SnapshotDir != "" {
 			path := filepath.Join(s.cfg.SnapshotDir, snap.CorpusFileName(key.Corpus, key.Seed))
-			if study, err := repro.OpenSnapshotFile(path); err == nil {
+			study, err := s.loadSnapshot(path)
+			if err == nil {
 				s.met.snapshotLoads.Inc()
 				return study, nil
 			}
 			// Missing, truncated, corrupt, or version-skewed snapshots all
 			// degrade to synthesis: corpora are deterministic per key, so
-			// the fallback serves identical bytes, just slower.
+			// the fallback serves identical bytes, just slower. Corrupt
+			// files were retried once and quarantined by loadSnapshot; the
+			// log line carries the path and failing section.
 			s.met.snapshotFallbacks.Inc()
+			s.logError(fmt.Sprintf("snapshot fallback for study (%s): synthesizing after %v", key, err))
 		}
 		return repro.NewStudyFromConfig(cfg)
 	}

@@ -1,46 +1,88 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrRenderPanicked is what coalesced waiters receive when the caller
+// actually executing their shared render panicked. The panic itself
+// propagates up the executing caller's stack (where the middleware recover
+// counts it in whpcd_panics_total); waiters get this typed error instead
+// of a hang or a second panic.
+var ErrRenderPanicked = errors.New("serve: shared render panicked")
 
 // group is a minimal singleflight: concurrent Do calls with the same key
 // share a single execution of fn. It is the dedup layer under the exhibit
 // cache — 32 simultaneous requests for an uncached report trigger exactly
 // one render, and the other 31 block until its bytes are ready.
+//
+// Two fail-operational guarantees distinguish it from the happy-path
+// version: a waiter's context expiring abandons the wait (the render keeps
+// running for whoever remains), and a panicking fn releases its waiters
+// with ErrRenderPanicked before the panic resumes unwinding.
 type group struct {
 	mu sync.Mutex
 	m  map[string]*call
 }
 
-// call is one in-flight execution.
+// call is one in-flight execution. done closes exactly once, after val and
+// err are final; waiters select on it against their own context.
 type call struct {
-	wg  sync.WaitGroup
-	val []byte
-	err error
+	done chan struct{}
+	val  []byte
+	err  error
 }
 
 // Do executes fn once per key among concurrent callers, returning the
 // shared result. shared reports whether this caller piggybacked on another
 // caller's execution. fn runs with no group lock held.
-func (g *group) Do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+//
+// If ctx expires while piggybacking, Do returns ctx.Err() immediately —
+// the in-flight execution is NOT cancelled, because other waiters (and the
+// cache) still want its result. If fn panics, the key is released, every
+// waiter receives ErrRenderPanicked, and the panic continues up the
+// executing caller's stack.
+func (g *group) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*call)
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, true, c.err
+		// A finished render wins over a cancelled context: when both
+		// channels are ready, Go's select picks randomly, and replay
+		// determinism requires completed bytes to be served, not raced.
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		default:
+		}
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 	}
-	c := new(call)
-	c.wg.Add(1)
+	c := &call{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
+	finished := false
+	defer func() {
+		if !finished {
+			// fn panicked: fail the latch before the panic unwinds further,
+			// so no waiter is left blocked on done.
+			c.val, c.err = nil, ErrRenderPanicked
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 	c.val, c.err = fn()
-	c.wg.Done()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
+	finished = true
 	return c.val, false, c.err
 }

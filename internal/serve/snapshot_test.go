@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/leakcheck"
 	"repro/internal/obs"
 	"repro/internal/snap"
 )
@@ -44,6 +45,7 @@ func metricValue(t *testing.T, s *Server, name string) string {
 // serve from it (loads counter increments) and the response bytes must be
 // identical to a synthesized study's.
 func TestSnapshotWarmBoot(t *testing.T) {
+	leakcheck.Check(t)
 	dir := writeTestSnapshot(t)
 	warm := newTestServer(t, func(c *Config) {
 		c.SnapshotDir = dir

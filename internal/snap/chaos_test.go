@@ -1,0 +1,126 @@
+package snap
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/query"
+)
+
+// chaosTestSnapshot writes a small valid snapshot (with frames) to a temp
+// file and returns its path.
+func chaosTestSnapshot(t *testing.T) string {
+	t.Helper()
+	d := tinyDataset()
+	path := filepath.Join(t.TempDir(), "chaos"+FileExt)
+	if err := WriteFile(path, d, query.NewFrameSet(d)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenInjectedTornRead: a torn read (truncated buffer) must be
+// rejected as a truncation/checksum failure — typed, never a panic, never
+// a silently short corpus.
+func TestOpenInjectedTornRead(t *testing.T) {
+	path := chaosTestSnapshot(t)
+	sched := &chaos.Schedule{Triggers: []chaos.Trigger{
+		{Point: chaos.PointSnapRead, Hit: 1, Fault: chaos.Fault{Kind: chaos.KindTorn, TornBytes: 97}},
+	}}
+	_, _, err := OpenInjected(path, chaos.NewScheduled(sched))
+	if err == nil {
+		t.Fatal("torn read produced a corpus")
+	}
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("torn read error = %v, want *FormatError", err)
+	}
+	if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn read error = %v, want checksum or truncation", err)
+	}
+}
+
+// TestOpenInjectedReadError: an error-kind fault at snap.read fails the
+// open with a path-carrying injected error.
+func TestOpenInjectedReadError(t *testing.T) {
+	path := chaosTestSnapshot(t)
+	sched := &chaos.Schedule{Triggers: []chaos.Trigger{
+		{Point: chaos.PointSnapRead, Hit: 1, Fault: chaos.Fault{Kind: chaos.KindError}},
+	}}
+	_, _, err := OpenInjected(path, chaos.NewScheduled(sched))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !errors.Is(err, chaos.ErrInjected) || !containsPath(err, path) {
+		t.Fatalf("err %q must carry the file path", err)
+	}
+}
+
+func containsPath(err error, path string) bool {
+	return strings.Contains(err.Error(), path)
+}
+
+// TestOpenInjectedDecodeFault: a decode-point fault surfaces as a
+// *FormatError naming the section it hit and wrapping chaos.ErrInjected,
+// with the file path wrapped around it.
+func TestOpenInjectedDecodeFault(t *testing.T) {
+	path := chaosTestSnapshot(t)
+	// Hit 2 of snap.decode is the conferences section (persons is hit 1).
+	sched := &chaos.Schedule{Triggers: []chaos.Trigger{
+		{Point: chaos.PointSnapDecode, Hit: 2, Fault: chaos.Fault{Kind: chaos.KindError}},
+	}}
+	_, _, err := OpenInjected(path, chaos.NewScheduled(sched))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FormatError", err)
+	}
+	if fe.Section != SectionConferences {
+		t.Fatalf("fault hit section %q, want %q", fe.Section, SectionConferences)
+	}
+	if !containsPath(err, path) {
+		t.Fatalf("err %q must carry the file path", err)
+	}
+}
+
+// TestOpenInjectedCleanPassthrough: an injector with nothing armed loads
+// the identical corpus the plain path does.
+func TestOpenInjectedCleanPassthrough(t *testing.T) {
+	path := chaosTestSnapshot(t)
+	inj := chaos.NewScheduled(&chaos.Schedule{})
+	d1, fs1, err := OpenInjected(path, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, fs2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.ConfIDs()) != len(d2.ConfIDs()) || len(fs1.Names()) != len(fs2.Names()) {
+		t.Fatal("clean injected open decoded a different corpus")
+	}
+	// The decode points were hit even though nothing was armed: persons,
+	// conferences, papers, frames.
+	if got := inj.Hits(chaos.PointSnapDecode); got != 4 {
+		t.Fatalf("snap.decode hits = %d, want 4", got)
+	}
+	if got := inj.Hits(chaos.PointSnapRead); got != 1 {
+		t.Fatalf("snap.read hits = %d, want 1", got)
+	}
+}
+
+// TestOpenMissingFileIsNotExist: the open path preserves fs.ErrNotExist
+// so callers (the whpcd quarantine logic) can split "missing" from
+// "corrupt".
+func TestOpenMissingFileIsNotExist(t *testing.T) {
+	_, _, err := Open(filepath.Join(t.TempDir(), "nope"+FileExt))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}

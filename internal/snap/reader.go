@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/dataset"
 	"repro/internal/query"
 )
@@ -23,6 +24,7 @@ type Reader struct {
 	sections []SectionInfo
 	payloads map[string][]byte
 	meta     metaInfo
+	inj      chaos.Injector // consulted at snap.decode; chaos.None in production
 }
 
 type metaInfo struct {
@@ -44,6 +46,14 @@ var knownSections = map[string]bool{
 // NewReader validates data as a complete snapshot and returns a Reader
 // over it. The slice is retained; callers must not mutate it afterwards.
 func NewReader(data []byte) (*Reader, error) {
+	return NewReaderInjected(data, chaos.None)
+}
+
+// NewReaderInjected is NewReader with a chaos injector consulted at the
+// snap.decode point once per section decode (Corpus and Frames); the
+// validation pass itself is not injectable — a reader either proves the
+// bytes whole or rejects them. Production callers use NewReader.
+func NewReaderInjected(data []byte, inj chaos.Injector) (*Reader, error) {
 	if len(data) < headerSize+4 {
 		return nil, fileErr(int64(len(data)), fmt.Sprintf("file is %d bytes, shorter than the %d-byte header and checksum trailer", len(data), headerSize+4), ErrTruncated)
 	}
@@ -63,7 +73,7 @@ func NewReader(data []byte) (*Reader, error) {
 	}
 
 	body := int64(len(data) - 4) // everything before the checksum trailer
-	r := &Reader{payloads: make(map[string][]byte, count)}
+	r := &Reader{payloads: make(map[string][]byte, count), inj: chaos.Or(inj)}
 	off := int64(headerSize)
 	for i := 0; i < count; i++ {
 		if off >= body {
@@ -191,14 +201,34 @@ func (r *Reader) Counts() (persons, conferences, papers int) {
 	return r.meta.persons, r.meta.conferences, r.meta.papers
 }
 
+// chaosStep consults the reader's injector before decoding section; any
+// armed fault surfaces as a *FormatError naming the section and wrapping
+// chaos.ErrInjected, so injected decode failures flow through the same
+// typed-error path organic corruption does.
+func (r *Reader) chaosStep(section string) error {
+	if f := r.inj.Fire(chaos.PointSnapDecode); f != nil {
+		return &FormatError{Section: section, Msg: "injected fault", Err: chaos.ErrInjected}
+	}
+	return nil
+}
+
 // Corpus decodes the three entity sections into a validated dataset.
 func (r *Reader) Corpus() (*dataset.Dataset, error) {
 	d := dataset.New()
+	if err := r.chaosStep(SectionPersons); err != nil {
+		return nil, err
+	}
 	ids, err := decodePersons(r.payloads[SectionPersons], r.meta.persons, d)
 	if err != nil {
 		return nil, err
 	}
+	if err := r.chaosStep(SectionConferences); err != nil {
+		return nil, err
+	}
 	if err := decodeConferences(r.payloads[SectionConferences], r.meta.conferences, ids, d); err != nil {
+		return nil, err
+	}
+	if err := r.chaosStep(SectionPapers); err != nil {
 		return nil, err
 	}
 	if err := decodePapers(r.payloads[SectionPapers], r.meta.papers, ids, d); err != nil {
@@ -218,18 +248,54 @@ func (r *Reader) Frames() (*query.FrameSet, error) {
 	if !ok {
 		return nil, &FormatError{Section: SectionFrames, Msg: "snapshot was written without frames", Err: ErrNoSection}
 	}
+	if err := r.chaosStep(SectionFrames); err != nil {
+		return nil, err
+	}
 	return decodeFrames(payload)
 }
 
 // Open reads the snapshot at path and decodes its corpus and, when
 // present, its frames (nil otherwise). It is the one-call load path the
-// Study and whpcd warm-boot integrations use.
+// Study and whpcd warm-boot integrations use. Every failure — read,
+// validation, or decode — is wrapped with the file path, and decode
+// failures keep their *FormatError section context underneath.
 func Open(path string) (*dataset.Dataset, *query.FrameSet, error) {
-	r, err := OpenFile(path)
+	return OpenInjected(path, chaos.None)
+}
+
+// OpenInjected is Open with a chaos injector consulted at the snap.read
+// point (after the bytes arrive: torn-read faults truncate the buffer,
+// every other kind fails the read typed) and at the snap.decode point
+// once per decoded section. Production callers use Open.
+func OpenInjected(path string, inj chaos.Injector) (*dataset.Dataset, *query.FrameSet, error) {
+	inj = chaos.Or(inj)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return decodeAll(r)
+	if f := inj.Fire(chaos.PointSnapRead); f != nil {
+		switch f.Kind {
+		case chaos.KindTorn:
+			// The tail never arrived; validation must reject the torn
+			// prefix like any truncated file.
+			n := len(data) - f.TornBytes
+			if n < 0 {
+				n = 0
+			}
+			data = data[:n]
+		default:
+			return nil, nil, fmt.Errorf("%s: %w", path, chaos.Injected(chaos.PointSnapRead, f))
+		}
+	}
+	r, err := NewReaderInjected(data, inj)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	d, fs, err := decodeAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, fs, nil
 }
 
 // Read decodes a complete snapshot from an io.Reader: the corpus and,

@@ -3,6 +3,7 @@ package repro
 import (
 	"io"
 
+	"repro/internal/chaos"
 	"repro/internal/dataset"
 	"repro/internal/query"
 	"repro/internal/snap"
@@ -33,9 +34,20 @@ func OpenSnapshot(r io.Reader) (*Study, error) {
 	return studyFromSnapshot(d, fs), nil
 }
 
-// OpenSnapshotFile reads a snapshot file written by SaveSnapshot.
+// OpenSnapshotFile reads a snapshot file written by SaveSnapshot. Errors
+// carry the file path, and decode failures keep their *FormatError
+// section context underneath.
 func OpenSnapshotFile(path string) (*Study, error) {
-	d, fs, err := snap.Open(path)
+	return OpenSnapshotFileInjected(path, chaos.None)
+}
+
+// OpenSnapshotFileInjected is OpenSnapshotFile with a chaos injector
+// threaded through the read (snap.read) and section-decode (snap.decode)
+// layers. The chaos suite uses it to prove the warm-boot path degrades to
+// synthesis — never to a wrong answer — under torn reads and injected
+// decode faults; production callers use OpenSnapshotFile.
+func OpenSnapshotFileInjected(path string, inj chaos.Injector) (*Study, error) {
+	d, fs, err := snap.OpenInjected(path, inj)
 	if err != nil {
 		return nil, err
 	}
