@@ -1,7 +1,11 @@
 // Command whpcvet runs the reproduction's custom static-analysis suite: the
 // determinism, map-order, float-comparison, error-handling, lock-safety and
 // documentation rules that keep the study's reports byte-identical across
-// runs, platforms, and worker counts.
+// runs, platforms, and worker counts, plus the dataflow rules built on
+// internal/lint/flow — context threading (ctxflow), goroutine exit bounds
+// (goroleak), hot-path allocation discipline (hotalloc) and chaos
+// injection-point coverage (chaoscover) — and the staleignore audit that
+// fails suppressions which outlive their findings.
 //
 // Usage:
 //

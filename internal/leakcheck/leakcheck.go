@@ -56,12 +56,7 @@ func Check(t testing.TB) {
 		var leaked []string
 		deadline := time.Now().Add(grace)
 		for {
-			leaked = leaked[:0]
-			for id, stack := range interestingGoroutines() {
-				if _, ok := before[id]; !ok {
-					leaked = append(leaked, stack)
-				}
-			}
+			leaked = leakedStacks(before)
 			if len(leaked) == 0 {
 				return
 			}
@@ -73,6 +68,20 @@ func Check(t testing.TB) {
 		t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
 			len(leaked), strings.Join(leaked, "\n\n"))
 	})
+}
+
+// leakedStacks returns the stacks of goroutines alive now that were not in
+// the before snapshot, sorted so a failure message is stable across runs
+// and diffable between seeds (map iteration would scramble it).
+func leakedStacks(before map[string]string) []string {
+	var leaked []string
+	for id, stack := range interestingGoroutines() {
+		if _, ok := before[id]; !ok {
+			leaked = append(leaked, stack)
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
 }
 
 // interestingGoroutines returns the current goroutines by id, excluding

@@ -1,0 +1,355 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// check parses and type-checks one file and returns its AST and type info.
+func check(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("fixture", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return f, info
+}
+
+// funcBody returns the body of the named top-level function.
+func funcBody(t *testing.T, f *ast.File, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function %q in fixture", name)
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	f, _ := check(t, `package fixture
+func f() int {
+	x := 1
+	x++
+	return x
+}`)
+	g := New(funcBody(t, f, "f"))
+	if !g.ExitReachable() {
+		t.Fatal("straight-line function should reach exit")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry block holds %d nodes, want 3", len(g.Entry.Nodes))
+	}
+}
+
+func TestCFGLoops(t *testing.T) {
+	f, _ := check(t, `package fixture
+func bounded() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}
+func infinite() {
+	for {
+		_ = 1
+	}
+}
+func infiniteWithBreak(stop bool) {
+	for {
+		if stop {
+			break
+		}
+	}
+}
+func labeledBreak(xs [][]int) int {
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}`)
+	for _, tc := range []struct {
+		name string
+		want bool
+	}{
+		{"bounded", true},
+		{"infinite", false},
+		{"infiniteWithBreak", true},
+		{"labeledBreak", true},
+	} {
+		g := New(funcBody(t, f, tc.name))
+		if got := g.ExitReachable(); got != tc.want {
+			t.Errorf("%s: ExitReachable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCFGDefers(t *testing.T) {
+	f, _ := check(t, `package fixture
+func f(cond bool) int {
+	defer cleanupA()
+	if cond {
+		defer cleanupB()
+		return 1
+	}
+	return 2
+}
+func cleanupA() {}
+func cleanupB() {}`)
+	g := New(funcBody(t, f, "f"))
+	if len(g.Defers) != 2 {
+		t.Fatalf("recorded %d defers, want 2", len(g.Defers))
+	}
+	// The Ret block holds the deferred calls in reverse registration order.
+	if len(g.Ret.Nodes) != 2 {
+		t.Fatalf("Ret block holds %d nodes, want 2 deferred calls", len(g.Ret.Nodes))
+	}
+	name := func(n ast.Node) string {
+		return n.(*ast.CallExpr).Fun.(*ast.Ident).Name
+	}
+	if name(g.Ret.Nodes[0]) != "cleanupB" || name(g.Ret.Nodes[1]) != "cleanupA" {
+		t.Errorf("defer order = %s, %s; want cleanupB, cleanupA",
+			name(g.Ret.Nodes[0]), name(g.Ret.Nodes[1]))
+	}
+	// Both returns and no other paths feed Ret: every exit runs the defers.
+	if len(g.Ret.Preds) < 2 {
+		t.Errorf("Ret has %d preds, want both return paths", len(g.Ret.Preds))
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	f, _ := check(t, `package fixture
+func blockForever() {
+	select {}
+}
+func waits(ch chan int, done chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}`)
+	if g := New(funcBody(t, f, "blockForever")); g.ExitReachable() {
+		t.Error("empty select should make exit unreachable")
+	}
+	g := New(funcBody(t, f, "waits"))
+	if !g.ExitReachable() {
+		t.Error("select with returning clauses should reach exit")
+	}
+	// The receive operations must be visible as block nodes.
+	recvs := 0
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			if NodeContains(n, func(c ast.Node) bool {
+				u, ok := c.(*ast.UnaryExpr)
+				return ok && u.Op == token.ARROW
+			}) {
+				recvs++
+			}
+		}
+	}
+	if recvs != 2 {
+		t.Errorf("found %d receive nodes, want 2", recvs)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	f, _ := check(t, `package fixture
+func f(x int) int {
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		return 2
+	default:
+		for {
+		}
+	}
+}`)
+	g := New(funcBody(t, f, "f"))
+	// Exit is reachable only through cases 1→2; the default spins forever.
+	if !g.ExitReachable() {
+		t.Error("fallthrough path should reach exit")
+	}
+}
+
+func TestAlwaysHits(t *testing.T) {
+	f, _ := check(t, `package fixture
+func every(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+func some(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	return make([]int, len(xs))
+}`)
+	isMake := func(n ast.Node) bool {
+		return NodeContains(n, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "make"
+		})
+	}
+	if !New(funcBody(t, f, "every")).AlwaysHits(isMake) {
+		t.Error("every: make dominates exit, AlwaysHits should be true")
+	}
+	if New(funcBody(t, f, "some")).AlwaysHits(isMake) {
+		t.Error("some: the nil return avoids make, AlwaysHits should be false")
+	}
+}
+
+func TestNeverReturnsSummaries(t *testing.T) {
+	f, info := check(t, `package fixture
+func spin() {
+	for {
+	}
+}
+func viaHelper() {
+	spin()
+}
+func selfRec() {
+	selfRec()
+}
+func mutualA() { mutualB() }
+func mutualB() { mutualA() }
+func condRec(n int) {
+	if n > 0 {
+		condRec(n - 1)
+	}
+}
+func plain() int { return 1 }
+func spawns() {
+	go func() {
+		for {
+		}
+	}()
+}`)
+	cg := BuildCallGraph([]*ast.File{f}, info)
+	never := cg.NeverReturns()
+	byName := func(name string) *FuncInfo {
+		for _, fi := range cg.Funcs {
+			if fi.Decl != nil && fi.Decl.Name.Name == name {
+				return fi
+			}
+		}
+		t.Fatalf("no func %q", name)
+		return nil
+	}
+	for name, want := range map[string]bool{
+		"spin":      true,
+		"viaHelper": true,
+		"selfRec":   true,
+		"mutualA":   true,
+		"mutualB":   true,
+		"condRec":   false,
+		"plain":     false,
+		// spawns returns immediately; the literal it launches does not run
+		// inline, so the parent must not inherit its non-termination.
+		"spawns": false,
+	} {
+		if got := never[byName(name)]; got != want {
+			t.Errorf("NeverReturns[%s] = %v, want %v", name, got, want)
+		}
+	}
+	// The launched literal itself is in the graph and never returns.
+	lits := 0
+	for _, fi := range cg.Funcs {
+		if fi.Lit != nil {
+			lits++
+			if !never[fi] {
+				t.Error("the spawned literal spins forever; NeverReturns should be true")
+			}
+		}
+	}
+	if lits != 1 {
+		t.Fatalf("call graph registered %d literals, want 1", lits)
+	}
+}
+
+func TestMayReachChannelWait(t *testing.T) {
+	f, info := check(t, `package fixture
+func waiter(ch chan int) {
+	for {
+		<-ch
+	}
+}
+func viaHelper(ch chan int) {
+	for {
+		waiter(ch)
+	}
+}
+func noWait() {
+	for {
+	}
+}`)
+	cg := BuildCallGraph([]*ast.File{f}, info)
+	recv := cg.MayReach(func(_ *FuncInfo, n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	})
+	for _, fi := range cg.Funcs {
+		want := fi.Decl.Name.Name != "noWait"
+		if got := recv[fi]; got != want {
+			t.Errorf("MayReach[%s] = %v, want %v", fi.Name(), got, want)
+		}
+	}
+}
+
+func TestSCCOrder(t *testing.T) {
+	f, info := check(t, `package fixture
+func a() { b() }
+func b() { c(); b() }
+func c() {}`)
+	cg := BuildCallGraph([]*ast.File{f}, info)
+	sccs := cg.SCCs()
+	pos := map[string]int{}
+	for i, scc := range sccs {
+		for _, fi := range scc {
+			pos[fi.Name()] = i
+		}
+	}
+	// Reverse topological: callees before callers.
+	if !(pos["c"] < pos["b"] && pos["b"] < pos["a"]) {
+		t.Errorf("SCC order %v not reverse-topological", pos)
+	}
+}
+
+func TestGotoIsConservative(t *testing.T) {
+	f, _ := check(t, `package fixture
+func f() {
+loop:
+	goto loop
+}`)
+	g := New(funcBody(t, f, "f"))
+	if !g.HasGoto {
+		t.Error("HasGoto should be set")
+	}
+}

@@ -1,0 +1,94 @@
+package flow
+
+import "go/ast"
+
+// MustReach computes, bottom-up over SCCs, the set of functions for which
+// every entry→exit path hits a node satisfying pred or a call to a function
+// already in the set. It is a greatest fixpoint: SCC members start in the
+// set and drop out when an avoiding path appears, so unconditional mutual
+// recursion stays in. Dynamic and cross-package calls never satisfy the
+// predicate — the summary under-approximates, which is the conservative
+// direction for analyzers that report when a function IS in the set.
+//
+// Bodiless declarations are never in the set. A function whose exit is
+// unreachable is vacuously in it (no path avoids anything).
+func (cg *CallGraph) MustReach(pred func(f *FuncInfo, n ast.Node) bool) map[*FuncInfo]bool {
+	in := make(map[*FuncInfo]bool)
+	hit := func(f *FuncInfo, n ast.Node) bool {
+		return NodeContains(n, func(c ast.Node) bool {
+			if pred(f, c) {
+				return true
+			}
+			if call, ok := c.(*ast.CallExpr); ok {
+				if rec := f.CallAt(call); rec != nil && !rec.Go && rec.Callee != nil && in[rec.Callee] {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	for _, scc := range cg.SCCs() {
+		for _, f := range scc {
+			in[f] = f.Body != nil
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, f := range scc {
+				if !in[f] {
+					continue
+				}
+				g := f.CFG()
+				if g == nil || !g.AlwaysHits(func(n ast.Node) bool { return hit(f, n) }) {
+					in[f] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// NeverReturns computes the set of functions that cannot reach their exit:
+// an infinite loop with no break, an empty select, or an unconditional call
+// (on every path) to another never-returning function — including mutual
+// and self recursion.
+func (cg *CallGraph) NeverReturns() map[*FuncInfo]bool {
+	return cg.MustReach(func(*FuncInfo, ast.Node) bool { return false })
+}
+
+// MayReach computes, bottom-up over SCCs, the set of functions in which some
+// node satisfies pred, or which call (directly or transitively through
+// same-package static edges) a function that does. It is a least fixpoint —
+// presence anywhere in the body counts, reachability of the node is not
+// required — so it over-approximates; the right tool for "does this
+// goroutine wait on a channel anywhere?" where over-approximation avoids
+// false findings.
+func (cg *CallGraph) MayReach(pred func(f *FuncInfo, n ast.Node) bool) map[*FuncInfo]bool {
+	in := make(map[*FuncInfo]bool)
+	for _, scc := range cg.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, f := range scc {
+				if in[f] || f.Body == nil {
+					continue
+				}
+				found := NodeContains(f.Body, func(c ast.Node) bool {
+					if pred(f, c) {
+						return true
+					}
+					if call, ok := c.(*ast.CallExpr); ok {
+						if rec := f.CallAt(call); rec != nil && !rec.Go && rec.Callee != nil && in[rec.Callee] {
+							return true
+						}
+					}
+					return false
+				})
+				if found {
+					in[f] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/flow"
+)
+
+// GoroLeakAnalyzer returns the goroleak rule: every go statement must launch
+// a goroutine with a bounded exit. It is the static twin of
+// internal/leakcheck — leakcheck catches the goroutines a test happens to
+// leak, goroleak catches the shapes that can leak before any test runs.
+//
+// Two shapes are flagged:
+//
+//   - a goroutine whose control-flow graph cannot reach its exit (infinite
+//     for without break, empty select, or — via the bottom-up NeverReturns
+//     summary — an unconditional call chain into such a function) and that
+//     never waits on a channel or select anywhere it can reach: nothing can
+//     stop it, so it lives until process exit. Cancellation-free
+//     time.Sleep polling loops are called out specifically.
+//   - a blocking send on an unbuffered channel created in the spawning
+//     function: if the receiver gives up (deadline, early return) the
+//     goroutine parks forever. Buffer the channel (the errc := make(chan
+//     error, 1) idiom) or select on ctx.Done.
+//
+// Waiting on a channel, select, or range-over-channel counts as a bounded
+// exit: closing the channel or cancelling the context can end the
+// goroutine, and whether anyone actually does is leakcheck's job at
+// runtime.
+func GoroLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "go statements must launch goroutines with a bounded exit",
+		Run:  runGoroLeak,
+	}
+}
+
+func runGoroLeak(p *Pass) {
+	cg := flow.BuildCallGraph(p.Files, p.Info)
+	never := cg.NeverReturns()
+	// chanWait over-approximates "the goroutine can park on a channel":
+	// any receive, select communication, or channel-typed expression
+	// outside a bare send counts, transitively through same-package calls.
+	chanWait := cg.MayReach(func(_ *flow.FuncInfo, n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			return n.Op == token.ARROW
+		case *ast.RangeStmt:
+			if t := p.TypeOf(n.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+					return true
+				}
+			}
+		case *ast.SelectStmt:
+			return true
+		}
+		return false
+	})
+	sleeps := cg.MayReach(func(_ *flow.FuncInfo, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && isTimeSleep(p.Info, call)
+	})
+
+	for _, fi := range cg.Funcs {
+		for i := range fi.Calls {
+			c := &fi.Calls[i]
+			if !c.Go {
+				continue
+			}
+			target := c.Callee
+			if target == nil || target.Body == nil {
+				continue // dynamic or cross-package target: conservative
+			}
+			if never[target] && !chanWait[target] {
+				if sleeps[target] {
+					p.Report(c.Site, "goroutine runs a cancellation-free time.Sleep loop and can never exit; select on a ctx/done channel instead")
+				} else {
+					p.Report(c.Site, "goroutine never returns and waits on no channel; give it a bounded exit (ctx/done select or a loop condition)")
+				}
+			}
+			if target.Lit != nil {
+				checkUnbufferedSends(p, fi, target)
+			}
+		}
+	}
+}
+
+// checkUnbufferedSends flags bare sends, inside a spawned literal, on
+// channels the spawning function created unbuffered.
+func checkUnbufferedSends(p *Pass, spawner *flow.FuncInfo, target *flow.FuncInfo) {
+	unbuffered := make(map[types.Object]bool)
+	if spawner.Body == nil {
+		return
+	}
+	inspectSkippingLits(spawner.Body, func(n ast.Node) {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, rhs := range asg.Rhs {
+			if i >= len(asg.Lhs) {
+				break
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue // make with a capacity argument is buffered
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if _, isChan := types.Unalias(p.TypeOf(rhs)).Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			if lid, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident); ok {
+				if obj := defOrUse(p.Info, lid); obj != nil {
+					unbuffered[obj] = true
+				}
+			}
+		}
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+	// Walk the spawned body tracking select nesting: a send inside a
+	// select clause has an escape hatch and is fine.
+	var walk func(n ast.Node, inSelect bool)
+	walk = func(n ast.Node, inSelect bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			if n != target.Lit {
+				return
+			}
+			walk(n.Body, inSelect)
+			return
+		case *ast.SelectStmt:
+			for _, cs := range n.Body.List {
+				walk(cs, true)
+			}
+			return
+		case *ast.SendStmt:
+			if inSelect {
+				break
+			}
+			if id, ok := ast.Unparen(n.Chan).(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && unbuffered[obj] {
+					p.Report(n, "blocking send on unbuffered channel %s: if the receiver is gone this goroutine parks forever; buffer the channel or select on ctx.Done", id.Name)
+				}
+			}
+		}
+		// Generic descent for everything not handled above.
+		children(n, func(c ast.Node) { walk(c, inSelect) })
+	}
+	walk(target.Lit, false)
+}
+
+// children invokes f on each direct child node of n.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		f(c)
+		return false
+	})
+}
+
+// isTimeSleep reports a call to time.Sleep.
+func isTimeSleep(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "time" && obj.Name() == "Sleep"
+}

@@ -1,0 +1,413 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/flow"
+)
+
+// HotAllocAnalyzer returns the hotalloc rule: functions carrying a
+// //whpcvet:hot marker in their doc comment — the query kernels, bitmap
+// filters and snapshot decoders — must not allocate per loop iteration. An
+// allocation that is invisible in a code review is a GC pause at a million
+// rows; the paper's "fast as the hardware allows" claim is kernels that
+// touch memory they preallocated and nothing else.
+//
+// Inside any loop of a hot function the rule flags:
+//
+//   - make/new calls and slice, map or &struct composite literals;
+//   - append into a slice that was not preallocated with a capacity in this
+//     function (targets rooted at parameters or fields are skipped — their
+//     ownership is the caller's contract);
+//   - string concatenation and string/[]byte/[]rune conversions (except a
+//     conversion used directly as a map index, which the compiler keeps
+//     allocation-free);
+//   - function literals (a closure allocates its environment);
+//   - arguments boxed into interface parameters;
+//   - calls to same-package functions that allocate on every path, per the
+//     bottom-up MustReach summary over the call graph — so hiding the make
+//     one call down does not hide it from the rule.
+//
+// Amortized or once-per-group allocations that are deliberate get an
+// annotated ignore; everything else gets hoisted.
+func HotAllocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "functions marked //whpcvet:hot must not allocate per loop iteration",
+		Run:  runHotAlloc,
+	}
+}
+
+const hotMarker = "//whpcvet:hot"
+
+// hotMarked reports whether the declaration's doc comment carries the
+// marker.
+func hotMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotMarker || strings.HasPrefix(c.Text, hotMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(p *Pass) {
+	var hot []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && hotMarked(fd) {
+				hot = append(hot, fd)
+			}
+		}
+	}
+	if len(hot) == 0 {
+		return
+	}
+	cg := flow.BuildCallGraph(p.Files, p.Info)
+	mustAlloc := cg.MustReach(func(_ *flow.FuncInfo, n ast.Node) bool {
+		return allocExpr(p, n)
+	})
+	for _, fd := range hot {
+		fi := cg.FuncOf(funcObj(p.Info, fd))
+		h := &hotWalker{p: p, fi: fi, mustAlloc: mustAlloc, exempt: make(map[ast.Node]bool)}
+		h.walk(fd.Body, 0)
+	}
+}
+
+// allocExpr reports whether n unconditionally allocates: the predicate
+// behind the MustReach summary. Value struct literals are excluded — they
+// usually live on the stack — as are closures, which NodeContains already
+// skips.
+func allocExpr(p *Pass, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "make", "new", "append":
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+			return allocConversion(p, n)
+		}
+	case *ast.BinaryExpr:
+		return n.Op == token.ADD && isStringType(p.TypeOf(n.X))
+	case *ast.AssignStmt:
+		return n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(p.TypeOf(n.Lhs[0]))
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			_, ok := ast.Unparen(n.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CompositeLit:
+		t := p.TypeOf(n)
+		if t == nil {
+			return false
+		}
+		switch types.Unalias(t).Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+	}
+	return false
+}
+
+// allocConversion reports whether the conversion call allocates: to or from
+// string and byte/rune slices.
+func allocConversion(p *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	to := p.TypeOf(call)
+	from := p.TypeOf(call.Args[0])
+	return (isStringType(to) && isByteishSlice(from)) || (isByteishSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteishSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// hotWalker reports per-iteration allocations inside one hot function.
+type hotWalker struct {
+	p         *Pass
+	fi        *flow.FuncInfo
+	mustAlloc map[*flow.FuncInfo]bool
+	exempt    map[ast.Node]bool
+}
+
+func (h *hotWalker) walk(n ast.Node, depth int) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		if n.Init != nil {
+			h.walk(n.Init, depth)
+		}
+		if n.Cond != nil {
+			h.walk(n.Cond, depth+1) // the condition re-evaluates per iteration
+		}
+		if n.Post != nil {
+			h.walk(n.Post, depth+1)
+		}
+		h.walk(n.Body, depth+1)
+		return
+	case *ast.RangeStmt:
+		h.walk(n.X, depth)
+		h.walk(n.Body, depth+1)
+		return
+	case *ast.FuncLit:
+		if depth > 0 {
+			h.p.Report(n, "closure allocated per iteration; hoist the function value out of the loop")
+		}
+		return // the literal body is its own function
+	case *ast.IndexExpr:
+		// A conversion used directly as a map index is allocation-free.
+		if t := h.p.TypeOf(n.X); t != nil {
+			if _, isMap := types.Unalias(t).Underlying().(*types.Map); isMap {
+				if call, ok := ast.Unparen(n.Index).(*ast.CallExpr); ok {
+					if tv, ok := h.p.Info.Types[call.Fun]; ok && tv.IsType() {
+						h.exempt[call] = true
+					}
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if depth > 0 && n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				h.p.Report(n, "allocates a %s per iteration; hoist it or reuse a scratch value", typeLabel(h.p, n.X))
+				return // the inner literal is part of this report
+			}
+		}
+	case *ast.CompositeLit:
+		if depth > 0 {
+			t := h.p.TypeOf(n)
+			if t != nil {
+				switch types.Unalias(t).Underlying().(type) {
+				case *types.Slice, *types.Map:
+					h.p.Report(n, "allocates a %s literal per iteration; hoist it out of the loop", typeLabel(h.p, n))
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		if depth > 0 && n.Op == token.ADD && isStringType(h.p.TypeOf(n.X)) {
+			h.p.Report(n, "concatenates strings per iteration; use a preallocated []byte or strings.Builder outside the loop")
+		}
+	case *ast.AssignStmt:
+		if depth > 0 && n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(h.p.TypeOf(n.Lhs[0])) {
+			h.p.Report(n, "concatenates strings per iteration; use a preallocated []byte or strings.Builder outside the loop")
+		}
+	case *ast.CallExpr:
+		if depth > 0 {
+			h.checkCall(n)
+		}
+	}
+	children(n, func(c ast.Node) { h.walk(c, depth) })
+}
+
+func (h *hotWalker) checkCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := h.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				h.p.Report(call, "calls %s per iteration; hoist the allocation out of the loop", id.Name)
+			case "append":
+				h.checkAppend(call)
+			}
+			return
+		}
+	}
+	if tv, ok := h.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if !h.exempt[call] && allocConversion(h.p, call) {
+			h.p.Report(call, "conversion allocates per iteration; keep one representation through the loop")
+		}
+		return
+	}
+	h.checkBoxing(call)
+	if h.fi == nil {
+		return
+	}
+	if rec := h.fi.CallAt(call); rec != nil && !rec.Go && rec.Callee != nil && rec.Callee.Decl != nil && h.mustAlloc[rec.Callee] {
+		h.p.Report(call, "calls %s, which allocates on every path, per iteration; hoist the allocation or restructure the callee", rec.Callee.Name())
+	}
+}
+
+// checkAppend flags append targets that provably grow: locals declared in
+// this function without a capacity. Parameters, fields and anything else
+// whose backing array the caller owns are skipped.
+func (h *hotWalker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // fields, index expressions: ownership unknown, skip
+	}
+	obj := h.p.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	switch h.localSliceOrigin(obj) {
+	case originPrealloc, originUnknown:
+		return
+	}
+	h.p.Report(call, "append grows %s per iteration without preallocated capacity; size it with make(..., 0, n) before the loop", id.Name)
+}
+
+type sliceOrigin int
+
+const (
+	originUnknown sliceOrigin = iota
+	originPrealloc
+	originGrowing
+)
+
+// localSliceOrigin classifies how a local slice variable was created:
+// make with an explicit capacity counts as preallocated; a bare var
+// declaration, empty literal, or capacity-less make counts as growing.
+func (h *hotWalker) localSliceOrigin(obj types.Object) sliceOrigin {
+	if h.fi == nil || h.fi.Body == nil {
+		return originUnknown
+	}
+	origin := originUnknown
+	inspectSkippingLits(h.fi.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return
+			}
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || h.p.Info.Defs[lid] != obj {
+					continue
+				}
+				if i < len(n.Rhs) {
+					origin = classifyRHS(h.p, n.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if h.p.Info.Defs[name] != obj {
+						continue
+					}
+					if i < len(vs.Values) {
+						origin = classifyRHS(h.p, vs.Values[i])
+					} else {
+						origin = originGrowing // var x []T
+					}
+				}
+			}
+		}
+	})
+	return origin
+}
+
+func classifyRHS(p *Pass, rhs ast.Expr) sliceOrigin {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "make" {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				if len(rhs.Args) >= 3 {
+					return originPrealloc
+				}
+				return originGrowing
+			}
+		}
+	case *ast.CompositeLit:
+		if len(rhs.Elts) == 0 {
+			return originGrowing
+		}
+	}
+	return originUnknown
+}
+
+// checkBoxing flags concrete values passed where the callee takes an
+// interface: each such argument escapes to the heap per iteration.
+func (h *hotWalker) checkBoxing(call *ast.CallExpr) {
+	ft := h.p.TypeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := types.Unalias(ft).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if s, ok := types.Unalias(params.At(n - 1).Type()).Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < n:
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := types.Unalias(pt).Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := h.p.TypeOf(arg)
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if b, ok := types.Unalias(at).Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, argIface := types.Unalias(at).Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if _, isPtr := types.Unalias(at).Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit in an interface word; no boxing copy
+		}
+		h.p.Report(arg, "boxes a %s into an interface per iteration; take a concrete type or hoist the call", at.String())
+	}
+}
+
+// typeLabel renders a short type name for a message.
+func typeLabel(p *Pass, e ast.Expr) string {
+	t := p.TypeOf(e)
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, func(pkg *types.Package) string { return pkg.Name() })
+}

@@ -26,8 +26,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic produced by an analyzer, positioned at the
@@ -61,8 +63,13 @@ type Analyzer struct {
 	// determinism rule exempts internal/resilience, the one package allowed
 	// to touch the wall clock.
 	Exempt []string
-	// Run performs the analysis.
+	// Run performs a per-package analysis; nil for module-level rules.
 	Run func(*Pass)
+	// RunModule performs a whole-module analysis over every loaded package
+	// at once — for rules like chaoscover that must cross-reference
+	// declarations in one package against uses in another. Scope/Exempt do
+	// not gate module rules; they see all packages and filter internally.
+	RunModule func(*ModulePass)
 }
 
 // AppliesTo reports whether the analyzer should run on the package with the
@@ -87,8 +94,13 @@ func (a *Analyzer) AppliesTo(pkgPath string) bool {
 // scopeMatch reports whether pkgPath matches pattern. A pattern matches the
 // identical import path, or a path that ends with "/"+pattern, so
 // "internal/report" matches "repro/internal/report" regardless of module
-// name.
+// name. A pattern ending in "/*" matches every package under that directory:
+// "cmd/*" covers "repro/cmd/whpcd" and any other command.
 func scopeMatch(pkgPath, pattern string) bool {
+	if strings.HasSuffix(pattern, "/*") {
+		prefix := pattern[:len(pattern)-1] // keep the trailing slash
+		return strings.HasPrefix(pkgPath, prefix) || strings.Contains(pkgPath, "/"+prefix)
+	}
 	return pkgPath == pattern || strings.HasSuffix(pkgPath, "/"+pattern)
 }
 
@@ -123,6 +135,26 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// ModulePass hands every loaded package to one module-level analyzer.
+type ModulePass struct {
+	Pkgs []*Package
+
+	findings *[]Finding
+	rule     string
+}
+
+// Report records a finding at the position of n, which must belong to pkg.
+func (p *ModulePass) Report(pkg *Package, n ast.Node, format string, args ...any) {
+	pos := pkg.Fset.Position(n.Pos())
+	*p.findings = append(*p.findings, Finding{
+		Rule:    p.rule,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers returns the full rule registry in display order. The slice is
 // freshly allocated; callers may filter it.
 func Analyzers() []*Analyzer {
@@ -133,6 +165,11 @@ func Analyzers() []*Analyzer {
 		ErrCheckAnalyzer(),
 		LockSafeAnalyzer(),
 		ExhibitDocAnalyzer(),
+		CtxFlowAnalyzer(),
+		GoroLeakAnalyzer(),
+		HotAllocAnalyzer(),
+		ChaosCoverAnalyzer(),
+		StaleIgnoreAnalyzer(),
 	}
 }
 
@@ -149,29 +186,80 @@ func AnalyzerByName(name string) *Analyzer {
 
 // Vet runs every analyzer over every package it applies to, filters
 // suppressed findings via //whpcvet:ignore annotations, and returns the
-// surviving findings sorted by position. Malformed or unused-reason
-// annotations are themselves reported under the "ignore" pseudo-rule.
+// surviving findings sorted by position. Malformed annotations are
+// themselves reported under the "ignore" pseudo-rule, and — when the
+// staleignore rule is among the analyzers — well-formed annotations that no
+// longer suppress anything are reported under "staleignore".
+//
+// Packages are analyzed concurrently, up to GOMAXPROCS at a time. The
+// output is deterministic regardless of parallelism: per-package findings
+// are produced by a single goroutine in analyzer order, collected per
+// package index, and merged with a stable (file, line, col, rule) sort.
 func Vet(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if !a.AppliesTo(pkg.Path) {
-				continue
-			}
-			pass := &Pass{
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				PkgPath:  pkg.Path,
-				Info:     pkg.Info,
-				findings: &findings,
-				rule:     a.Name,
-			}
-			a.Run(pass)
+	var perPkg, module []*Analyzer
+	active := make(map[string]bool)
+	for _, a := range analyzers {
+		active[a.Name] = true
+		switch {
+		case a.Run != nil:
+			perPkg = append(perPkg, a)
+		case a.RunModule != nil:
+			module = append(module, a)
 		}
-		findings = append(findings, suppress(pkg, &findings)...)
 	}
-	sort.Slice(findings, func(i, j int) bool {
+
+	results := make([][]Finding, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pkg := pkgs[i]
+				for _, a := range perPkg {
+					if !a.AppliesTo(pkg.Path) {
+						continue
+					}
+					pass := &Pass{
+						Fset:     pkg.Fset,
+						Files:    pkg.Files,
+						Pkg:      pkg.Types,
+						PkgPath:  pkg.Path,
+						Info:     pkg.Info,
+						findings: &results[i],
+						rule:     a.Name,
+					}
+					a.Run(pass)
+				}
+			}
+		}()
+	}
+	for i := range pkgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var findings []Finding
+	for _, fs := range results {
+		findings = append(findings, fs...)
+	}
+	for _, a := range module {
+		mp := &ModulePass{Pkgs: pkgs, findings: &findings, rule: a.Name}
+		a.RunModule(mp)
+	}
+
+	findings = suppress(pkgs, findings, active)
+
+	sort.SliceStable(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
 			return a.File < b.File
@@ -182,7 +270,10 @@ func Vet(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return findings
 }
@@ -194,50 +285,59 @@ type ignoreDirective struct {
 	line   int
 	file   string
 	pos    token.Pos
+	// used records that the directive suppressed at least one finding this
+	// run; a well-formed directive that stays unused is stale.
+	used bool
 }
 
 const ignorePrefix = "//whpcvet:ignore"
 
-// parseIgnores extracts every annotation from the package's comments,
-// keyed by file name.
-func parseIgnores(pkg *Package) map[string][]ignoreDirective {
-	out := make(map[string][]ignoreDirective)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
-					continue
+// parseIgnores extracts every annotation from the packages' comments, keyed
+// by file name. Directives are returned by pointer so suppression can mark
+// usage for the staleness audit.
+func parseIgnores(pkgs []*Package) map[string][]*ignoreDirective {
+	out := make(map[string][]*ignoreDirective)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					pos := pkg.Fset.Position(c.Pos())
+					d := &ignoreDirective{line: pos.Line, file: pos.Filename, pos: c.Pos()}
+					fields := strings.Fields(rest)
+					if len(fields) > 0 {
+						d.rules = strings.Split(fields[0], ",")
+						d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+					}
+					out[pos.Filename] = append(out[pos.Filename], d)
 				}
-				rest := strings.TrimPrefix(c.Text, ignorePrefix)
-				pos := pkg.Fset.Position(c.Pos())
-				d := ignoreDirective{line: pos.Line, file: pos.Filename, pos: c.Pos()}
-				fields := strings.Fields(rest)
-				if len(fields) > 0 {
-					d.rules = strings.Split(fields[0], ",")
-					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
-				}
-				out[pos.Filename] = append(out[pos.Filename], d)
 			}
 		}
 	}
 	return out
 }
 
-// suppress removes findings covered by a well-formed annotation on the same
-// line or the line immediately above, rewriting *findings in place. It
-// returns extra findings for malformed annotations (no rule, unknown rule,
-// or missing reason).
-func suppress(pkg *Package, findings *[]Finding) []Finding {
-	ignores := parseIgnores(pkg)
+// suppress drops findings covered by a well-formed annotation on the same
+// line or the line immediately above. It adds findings for malformed
+// annotations (no rule, unknown rule, or missing reason) under the "ignore"
+// pseudo-rule, and — when staleignore is active — for well-formed
+// annotations that suppressed nothing and whose rules all ran (so a partial
+// -rule invocation never misreports a directive as stale). Stale findings
+// are not themselves suppressible: a dead annotation is pruned, not excused.
+func suppress(pkgs []*Package, findings []Finding, active map[string]bool) []Finding {
+	ignores := parseIgnores(pkgs)
 	if len(ignores) == 0 {
-		return nil
+		return findings
 	}
 	var extra []Finding
 	known := make(map[string]bool)
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	valid := make(map[string][]ignoreDirective)
+	valid := make(map[string][]*ignoreDirective)
 	for file, ds := range ignores {
 		for _, d := range ds {
 			switch {
@@ -268,28 +368,53 @@ func suppress(pkg *Package, findings *[]Finding) []Finding {
 			}
 		}
 	}
-	kept := (*findings)[:0]
-	for _, f := range *findings {
+	kept := findings[:0]
+	for _, f := range findings {
 		if !suppressed(f, valid[f.File]) {
 			kept = append(kept, f)
 		}
 	}
-	*findings = kept
-	return extra
+	findings = kept
+	if active["staleignore"] {
+		for _, ds := range valid {
+			for _, d := range ds {
+				if d.used {
+					continue
+				}
+				ran := true
+				for _, r := range d.rules {
+					if !active[r] {
+						ran = false
+						break
+					}
+				}
+				if ran {
+					extra = append(extra, Finding{
+						Rule: "staleignore", File: d.file, Line: d.line, Col: 1,
+						Message: fmt.Sprintf("whpcvet:ignore %s suppresses nothing; the finding it silenced is gone — remove the annotation", strings.Join(d.rules, ",")),
+					})
+				}
+			}
+		}
+	}
+	return append(findings, extra...)
 }
 
 // suppressed reports whether a directive in ds covers finding f: the
 // directive names f's rule and sits on f's line or the line above it.
-func suppressed(f Finding, ds []ignoreDirective) bool {
+// Matching directives are marked used for the staleness audit.
+func suppressed(f Finding, ds []*ignoreDirective) bool {
+	hit := false
 	for _, d := range ds {
 		if d.line != f.Line && d.line != f.Line-1 {
 			continue
 		}
 		for _, r := range d.rules {
 			if r == f.Rule {
-				return true
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }

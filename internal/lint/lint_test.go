@@ -48,12 +48,12 @@ func wantFindings(t *testing.T, got []Finding, rule string, lines ...int) {
 
 func TestRegistry(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 6 {
-		t.Fatalf("registry has %d analyzers, want 6", len(as))
+	if len(as) != 11 {
+		t.Fatalf("registry has %d analyzers, want 11", len(as))
 	}
 	names := make(map[string]bool)
 	for _, a := range as {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.RunModule == nil) {
 			t.Errorf("analyzer %+v incompletely registered", a)
 		}
 		if names[a.Name] {

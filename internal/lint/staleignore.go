@@ -1,0 +1,24 @@
+package lint
+
+// StaleIgnoreAnalyzer reports //whpcvet:ignore annotations that no longer
+// suppress any finding. Suppressions are technical debt with a reason
+// attached; when the offending code is fixed or deleted the annotation must
+// go too, or the next reader inherits a lie about what the rule flags.
+//
+// The rule is implemented inside the driver's suppression pass (see
+// suppress in lint.go), which is the only place that knows whether a
+// directive matched a finding: it is registered here so it appears in
+// -rules, can be selected with -rule, and gates the audit — staleness is
+// only reported when staleignore is among the active analyzers AND every
+// rule a directive names also ran, so partial -rule invocations never
+// misreport a directive as stale. Stale findings cannot themselves be
+// suppressed: prune the annotation instead.
+func StaleIgnoreAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "staleignore",
+		Doc:  "reports //whpcvet:ignore annotations that no longer suppress any finding",
+		// The driver special-cases this rule; the module hook exists so the
+		// registry invariant (every rule is runnable) holds.
+		RunModule: func(*ModulePass) {},
+	}
+}

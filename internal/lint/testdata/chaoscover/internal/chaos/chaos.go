@@ -1,0 +1,24 @@
+// Package chaos is a miniature injection registry for the chaoscover
+// fixture: a Fault type, a Fire sink, and three declared points.
+package chaos
+
+// Fault is one armed fault.
+type Fault struct{ Kind int }
+
+// Injector fires faults by point name.
+type Injector interface {
+	Fire(point string) *Fault
+}
+
+// The declared injection points. PointOrphan has no fire site anywhere
+// and PointB is missing from Points(); both are deliberate.
+const (
+	PointA      = "fixture/a"
+	PointB      = "fixture/b"
+	PointOrphan = "fixture/orphan"
+)
+
+// Points lists the schedulable points; PointB is deliberately absent.
+func Points() []string {
+	return []string{PointA, PointOrphan}
+}

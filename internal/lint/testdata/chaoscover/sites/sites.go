@@ -1,0 +1,42 @@
+// Package sites exercises chaoscover call-site classification through a
+// forwarding wrapper, the same shape the real server uses.
+package sites
+
+import "repro/internal/lint/testdata/chaoscover/internal/chaos"
+
+type server struct{ inj chaos.Injector }
+
+// fire forwards to the raw injector.
+func (s *server) fire(point string) *chaos.Fault {
+	return s.inj.Fire(point)
+}
+
+const notAPoint = "fixture/unknown"
+
+func (s *server) good() *chaos.Fault {
+	return s.fire(chaos.PointA)
+}
+
+func (s *server) alsoGood() *chaos.Fault {
+	return s.fire(chaos.PointB)
+}
+
+func (s *server) badLiteral() *chaos.Fault {
+	return s.inj.Fire("fixture/raw")
+}
+
+func (s *server) badConst() *chaos.Fault {
+	return s.fire(notAPoint)
+}
+
+func pick() string { return "fixture/a" }
+
+func (s *server) badDynamic() *chaos.Fault {
+	p := pick()
+	return s.inj.Fire(p)
+}
+
+func (s *server) suppressedLiteral() *chaos.Fault {
+	//whpcvet:ignore chaoscover fixture keeps one literal site to prove the annotation works
+	return s.inj.Fire("fixture/raw2")
+}

@@ -1,0 +1,57 @@
+// Package ctxflow exercises the ctxflow analyzer: fresh context
+// construction mid-path, non-derived arguments, struct stores, and
+// detached same-package callees.
+package ctxflow
+
+import "context"
+
+type holder struct {
+	ctx context.Context
+}
+
+var global context.Context
+
+func work(ctx context.Context) {}
+
+func detach(ctx context.Context) {
+	work(context.Background())
+}
+
+func sideChannel(ctx context.Context) {
+	work(global)
+}
+
+func stashAssign(ctx context.Context) {
+	var h holder
+	h.ctx = ctx
+	_ = h
+}
+
+func stashLiteral(ctx context.Context) *holder {
+	return &holder{ctx: ctx}
+}
+
+func viaHelper(ctx context.Context) {
+	helper()
+}
+
+func helper() {
+	ctx := context.Background()
+	work(ctx)
+}
+
+func clean(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work(c)
+}
+
+func cleanClosure(ctx context.Context) {
+	run := func() { work(ctx) }
+	run()
+}
+
+func suppressed(ctx context.Context) {
+	//whpcvet:ignore ctxflow fixture detaches deliberately to prove the annotation works
+	work(context.Background())
+}

@@ -1,0 +1,70 @@
+// Package goroleak exercises the goroleak analyzer: goroutines with no
+// bounded exit, cancellation-free sleep loops, and blocking sends on
+// unbuffered channels.
+package goroleak
+
+import "time"
+
+func spin() {
+	for {
+	}
+}
+
+func badNamed() {
+	go spin()
+}
+
+func badLit() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+func badSleepLoop() {
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func badUnbufferedSend() <-chan error {
+	errc := make(chan error)
+	go func() {
+		errc <- nil
+	}()
+	return errc
+}
+
+func goodBuffered() <-chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return errc
+}
+
+func goodDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func goodRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func suppressed() {
+	//whpcvet:ignore goroleak fixture daemon runs for the process lifetime by design
+	go spin()
+}

@@ -1,0 +1,67 @@
+// Package hotalloc exercises the hotalloc analyzer inside marked and
+// unmarked functions.
+package hotalloc
+
+type item struct{ v int }
+
+func sink(x any) {}
+
+func allocAlways() []int {
+	return make([]int, 4)
+}
+
+// badKernel allocates per iteration in every way the rule knows.
+//
+//whpcvet:hot
+func badKernel(n int) int {
+	total := 0
+	var grow []int
+	s := ""
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 8)
+		total += len(buf)
+		grow = append(grow, i)
+		s += "x"
+		f := func() int { return i }
+		total += f()
+		it := &item{v: i}
+		total += it.v
+		sink(i)
+		total += len(allocAlways())
+	}
+	_ = s
+	return total
+}
+
+// goodKernel preallocates and reuses; the rule stays quiet.
+//
+//whpcvet:hot
+func goodKernel(n int, m map[string]int, data []byte) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, m[string(data)])
+	}
+	return out
+}
+
+// unmarked allocates freely; without the marker nothing fires.
+func unmarked(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// suppressedKernel keeps one deliberate per-iteration allocation.
+//
+//whpcvet:hot
+func suppressedKernel(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		//whpcvet:ignore hotalloc fixture keeps one deliberate allocation to prove the annotation works
+		b := make([]byte, 1)
+		total += len(b)
+	}
+	return total
+}

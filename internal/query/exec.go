@@ -92,6 +92,8 @@ func denseLayout(p *plan) (size int, strides []uint64, ok bool) {
 
 // token computes the group-key token of one row: 0 for null, otherwise a
 // value-stable non-zero token per column type.
+//
+//whpcvet:hot
 func token(col *Column, row int) uint64 {
 	if !col.valid(row) {
 		return 0
@@ -152,6 +154,8 @@ func (a *accSet) lookup(tokens []uint64) *groupAcc {
 }
 
 // setPrefix sets the first n bits of out.
+//
+//whpcvet:hot
 func setPrefix(out Bitmap, n int) {
 	for w := 0; w*64 < n; w++ {
 		out[w] = ^uint64(0)
@@ -160,6 +164,8 @@ func setPrefix(out Bitmap, n int) {
 }
 
 // maskTail clears bits at positions >= n.
+//
+//whpcvet:hot
 func maskTail(out Bitmap, n int) {
 	if rem := n & 63; rem != 0 {
 		out[n>>6] &= (1 << uint(rem)) - 1
@@ -173,6 +179,8 @@ func maskTail(out Bitmap, n int) {
 // Columnar evaluation: each leaf is one tight loop over its column — the
 // typed switch runs once per partition, not once per row. lo is always a
 // multiple of 64 (partitionRows is), so bool columns reduce to word ops.
+//
+//whpcvet:hot
 func leafBits(l *leaf, lo, hi int, out Bitmap) {
 	n := hi - lo
 	switch {
@@ -243,6 +251,8 @@ func leafBits(l *leaf, lo, hi int, out Bitmap) {
 
 // filterBits evaluates an AND-of-ORs filter over [lo, hi) into sel, using
 // tmp as scratch. A nil/empty filter selects every row.
+//
+//whpcvet:hot
 func filterBits(filter []orGroup, lo, hi int, sel, tmp Bitmap) {
 	n := hi - lo
 	setPrefix(sel, n)
@@ -264,6 +274,8 @@ func filterBits(filter []orGroup, lo, hi int, sel, tmp Bitmap) {
 // by folding stride-weighted key tokens one column at a time — the typed
 // switch runs per key, not per row, and the selected-row loop then groups
 // with a single slice index. Dense layout admits only string and bool keys.
+//
+//whpcvet:hot
 func denseIndex(p *plan, strides []uint64, lo, hi int, idx []uint32) {
 	for ki := range p.keys {
 		col := p.keys[ki].col
@@ -301,6 +313,8 @@ func denseIndex(p *plan, strides []uint64, lo, hi int, idx []uint32) {
 // accumulate folds row into one group's cells. rel is the row's bit index
 // within the partition; aggSel[i], when non-nil, is the pre-evaluated
 // bitmap of agg i's where-filter.
+//
+//whpcvet:hot
 func accumulate(aggs []aggOp, aggSel []Bitmap, g *groupAcc, row, rel int) {
 	for ai := range aggs {
 		op := &aggs[ai]
@@ -420,6 +434,8 @@ func (a *accSet) merge(part *accSet) {
 // scanPartition runs the grouped scan over rows [lo, hi): the filter and
 // every aggregate where-filter evaluate column-wise into bitmaps first,
 // then a single pass over the selected bits groups and accumulates.
+//
+//whpcvet:hot
 func scanPartition(p *plan, a *accSet, lo, hi int) {
 	n := hi - lo
 	words := (n + 63) / 64
@@ -427,13 +443,25 @@ func scanPartition(p *plan, a *accSet, lo, hi int) {
 	tmp := make(Bitmap, words)
 	filterBits(p.where, lo, hi, sel, tmp)
 	aggSel := make([]Bitmap, len(p.aggs))
+	nsel := 0
 	for ai := range p.aggs {
-		if len(p.aggs[ai].where) == 0 {
-			continue
+		if len(p.aggs[ai].where) != 0 {
+			nsel++
 		}
-		b := make(Bitmap, words)
-		filterBits(p.aggs[ai].where, lo, hi, b, tmp)
-		aggSel[ai] = b
+	}
+	if nsel > 0 {
+		// One flat backing array for every per-agg bitmap instead of one
+		// allocation per filtered aggregate.
+		arena := make(Bitmap, nsel*words)
+		for ai := range p.aggs {
+			if len(p.aggs[ai].where) == 0 {
+				continue
+			}
+			b := arena[:words:words]
+			arena = arena[words:]
+			filterBits(p.aggs[ai].where, lo, hi, b, tmp)
+			aggSel[ai] = b
+		}
 	}
 	tokens := make([]uint64, len(p.keys))
 	var denseIdx []uint32
@@ -469,6 +497,7 @@ func scanPartition(p *plan, a *accSet, lo, hi int) {
 					for ki := range p.keys {
 						tokens[ki] = token(p.keys[ki].col, row)
 					}
+					//whpcvet:ignore hotalloc group construction happens once per group per partition, not per row; the common path above is a plain slice index
 					g = &groupAcc{tokens: append([]uint64(nil), tokens...), cells: make([]accCell, len(p.aggs))}
 					a.dense[di] = g
 					a.order = append(a.order, g)
@@ -690,28 +719,44 @@ func Run(fs *FrameSet, q *Query) (*Result, error) {
 	return runGrouped(p)
 }
 
-// runSelect evaluates a projection in frame row order.
+// runSelect evaluates a projection in frame row order. A counting pass
+// sizes the output first so the fill loop only slices preallocated arenas
+// — three allocations total instead of three per matching row.
+//
+//whpcvet:hot
 func runSelect(p *plan) (*Result, error) {
 	res := newResult(p)
-	var rows []execRow
+	nmatch := 0
+	for row := 0; row < p.f.NumRows; row++ {
+		if matchFilter(p.where, row) {
+			nmatch++
+		}
+	}
+	k := len(p.selects)
+	valArena := make([]Value, 0, nmatch*k)
+	tokArena := make([]uint64, 0, nmatch*k)
+	rows := make([]execRow, 0, nmatch)
 	for row := 0; row < p.f.NumRows; row++ {
 		if !matchFilter(p.where, row) {
 			continue
 		}
-		vals := make([]Value, len(p.selects))
-		toks := make([]uint64, len(p.selects))
-		for si, s := range p.selects {
-			toks[si] = token(s.col, row)
-			vals[si] = columnValue(s.col, row)
+		base := len(valArena)
+		for _, s := range p.selects {
+			tokArena = append(tokArena, token(s.col, row))
+			valArena = append(valArena, columnValue(s.col, row))
 		}
-		rows = append(rows, execRow{vals: vals, tokens: toks})
+		rows = append(rows, execRow{
+			vals:   valArena[base : base+k : base+k],
+			tokens: tokArena[base : base+k : base+k],
+		})
 	}
 	sortRows(p, rows)
 	if p.limit > 0 && len(rows) > p.limit {
 		rows = rows[:p.limit]
 	}
-	for _, r := range rows {
-		res.addRow(p, r.vals)
+	res.Rows = make([][]Value, len(rows))
+	for i, r := range rows {
+		res.Rows[i] = r.vals
 	}
 	return res, nil
 }

@@ -145,6 +145,7 @@ func (s *Server) logError(msg string) {
 func (s *Server) loadSnapshot(path string) (*repro.Study, error) {
 	var study *repro.Study
 	r := resilience.Retryer{MaxAttempts: 2, Clock: s.clock}
+	//whpcvet:ignore ctxflow snapshot loads are boot/registry work shared across requests, deliberately detached from any one request's deadline
 	err := r.Do(context.Background(), func(context.Context) error {
 		st, err := repro.OpenSnapshotFileInjected(path, s.inj)
 		if err != nil {

@@ -367,6 +367,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		return fmt.Errorf("serve: listener failed: %w", err)
 	case <-ctx.Done():
 	}
+	//whpcvet:ignore ctxflow drain runs after ctx is already cancelled; deriving from it would cancel the drain instantly
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
@@ -384,6 +385,7 @@ func (s *Server) buildStudy(key StudyKey) (*repro.Study, error) {
 		case chaos.KindLatency:
 			// Builds outlast any one request (the registry shares them), so
 			// the stretch elapses on a background context.
+			//whpcvet:ignore ctxflow builds are shared via the registry and must not die with the first requester's deadline
 			if err := s.clock.Sleep(context.Background(), f.Latency); err != nil {
 				return nil, err
 			}

@@ -112,6 +112,7 @@ func (d *dec) length(what string, minBytes int) (int, error) {
 	return int(n), nil
 }
 
+//whpcvet:hot
 func (d *dec) words(what string) ([]uint64, error) {
 	n, err := d.length(what, 8)
 	if err != nil {
@@ -123,6 +124,7 @@ func (d *dec) words(what string) ([]uint64, error) {
 	out := make([]uint64, n)
 	for i := range out {
 		if d.remaining() < 8 {
+			//whpcvet:ignore hotalloc error construction aborts the decode; it allocates once per corrupt file, not per iteration
 			return nil, d.err(what, ErrTruncated)
 		}
 		out[i] = binary.LittleEndian.Uint64(d.data[d.off:])
@@ -143,6 +145,8 @@ func (d *dec) strDict(what string) ([]string, error) {
 // allocation (a single copy of the column's byte region) instead of one
 // allocation each, which dominates warm-boot decode time for the large
 // id/name/title columns.
+//
+//whpcvet:hot
 func (d *dec) strings(what string, n int) ([]string, error) {
 	type span struct{ off, len int }
 	spans := make([]span, n)
@@ -150,10 +154,12 @@ func (d *dec) strings(what string, n int) ([]string, error) {
 	for i := range spans {
 		ln, adv := binary.Uvarint(d.data[d.off:])
 		if adv <= 0 {
+			//whpcvet:ignore hotalloc error construction aborts the decode; it allocates once per corrupt file, not per iteration
 			return nil, d.err(what+": truncated value length", ErrTruncated)
 		}
 		d.off += adv
 		if ln > uint64(d.remaining()) {
+			//whpcvet:ignore hotalloc error construction aborts the decode; it allocates once per corrupt file, not per iteration
 			return nil, d.err(what+": declared value length exceeds remaining bytes", ErrTruncated)
 		}
 		spans[i] = span{d.off, int(ln)}
@@ -168,6 +174,7 @@ func (d *dec) strings(what string, n int) ([]string, error) {
 	return out, nil
 }
 
+//whpcvet:hot
 func (d *dec) intCol(what string) ([]int64, error) {
 	n, err := d.length(what, 1)
 	if err != nil {
@@ -185,6 +192,8 @@ func (d *dec) intCol(what string) ([]int64, error) {
 // codeCol reads a dictionary-code column, validating every code against
 // the dictionary cardinality so a decoded column can never index out of
 // range.
+//
+//whpcvet:hot
 func (d *dec) codeCol(what string, dictLen int) ([]int32, error) {
 	n, err := d.length(what, 1)
 	if err != nil {
@@ -197,6 +206,7 @@ func (d *dec) codeCol(what string, dictLen int) ([]int32, error) {
 			return nil, err
 		}
 		if v >= uint64(dictLen) {
+			//whpcvet:ignore hotalloc error construction aborts the decode; it allocates once per corrupt file, not per iteration
 			return nil, d.err(what+": dictionary code out of range", ErrCorrupt)
 		}
 		out[i] = int32(v)
@@ -204,6 +214,7 @@ func (d *dec) codeCol(what string, dictLen int) ([]int32, error) {
 	return out, nil
 }
 
+//whpcvet:hot
 func (d *dec) floatCol(what string) ([]float64, error) {
 	n, err := d.length(what, 8)
 	if err != nil {
