@@ -10,6 +10,15 @@
 //	      [-snapshot-dir DIR] [-cache-size 256] [-study-cache 4]
 //	      [-max-inflight 64] [-rate 0] [-burst 8] [-timeout 30s]
 //	      [-drain-timeout 15s] [-quiet]
+//	      [-cluster-shards 0] [-cluster-workers N] [-cluster-replicas 2]
+//
+// With -cluster-shards N (N > 0), /v1/query executes in cluster mode:
+// each study's frames are split into N partition-aligned shards placed on
+// in-process workers via a consistent-hash ring with replicas, the query
+// is scattered to every shard, and the partial results are merged
+// deterministically — byte-identical to single-process execution. A worker
+// failure mid-query retries on the next replica; only when every replica
+// of a shard is gone does the request fail, with a typed 503.
 //
 // With -snapshot-dir, pristine studies warm-boot from <corpus>-<seed>.whpcsnap
 // files (written by synthgen -snap or whpc -snapshot-out) instead of
@@ -61,6 +70,9 @@ func run() error {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		drain       = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
 		quiet       = flag.Bool("quiet", false, "disable the JSON access log on stderr")
+		shards      = flag.Int("cluster-shards", 0, "enable cluster mode: split each study into this many shards for federated /v1/query execution (0 disables)")
+		workers     = flag.Int("cluster-workers", 0, "shard worker count in cluster mode (default = -cluster-shards)")
+		replicas    = flag.Int("cluster-replicas", 0, "replicas per shard in cluster mode (default 2, capped at workers)")
 	)
 	flag.Parse()
 
@@ -75,6 +87,10 @@ func run() error {
 		RateBurst:      *burst,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
+
+		ClusterShards:   *shards,
+		ClusterWorkers:  *workers,
+		ClusterReplicas: *replicas,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

@@ -16,8 +16,8 @@ import (
 func LockSafeAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:  "locksafe",
-		Doc:   "flag callbacks and channel operations executed while a sync mutex is held in internal/resilience, internal/ingest, internal/serve, internal/obs, internal/query, internal/snap and internal/chaos",
-		Scope: []string{"internal/resilience", "internal/ingest", "internal/serve", "internal/obs", "internal/query", "internal/snap", "internal/chaos", "internal/leakcheck", "cmd/*"},
+		Doc:   "flag callbacks and channel operations executed while a sync mutex is held in internal/resilience, internal/ingest, internal/serve, internal/obs, internal/query, internal/snap, internal/chaos and internal/shard",
+		Scope: []string{"internal/resilience", "internal/ingest", "internal/serve", "internal/obs", "internal/query", "internal/snap", "internal/chaos", "internal/shard", "internal/leakcheck", "cmd/*"},
 		Run:   runLockSafe,
 	}
 }

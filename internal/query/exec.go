@@ -43,8 +43,11 @@ type accSet struct {
 	dense  []*groupAcc // nil when sparse
 	sparse map[string]*groupAcc
 	order  []*groupAcc
-	// welch sample buffers, in row order within the partition.
-	cmp [2][]float64
+	// welch sufficient statistics, accumulated in row order within the
+	// partition. Moments merge by field-wise addition, so a coordinator
+	// holding per-partition partials can reproduce this scan's result
+	// exactly by merging them in partition order.
+	cmp [2]stats.Moments
 
 	strides []uint64 // dense strides per key
 	scratch []byte   // sparse key encoding buffer
@@ -427,8 +430,8 @@ func (a *accSet) merge(part *accSet) {
 			mergeCell(a.p.aggs[ai].kind, &g.cells[ai], &pg.cells[ai])
 		}
 	}
-	a.cmp[0] = append(a.cmp[0], part.cmp[0]...)
-	a.cmp[1] = append(a.cmp[1], part.cmp[1]...)
+	a.cmp[0].Merge(part.cmp[0])
+	a.cmp[1].Merge(part.cmp[1])
 }
 
 // scanPartition runs the grouped scan over rows [lo, hi): the filter and
@@ -519,9 +522,9 @@ func scanPartition(p *plan, a *accSet, lo, hi int) {
 					}
 					if match {
 						if p.compare.col.Type == TInt {
-							a.cmp[gi] = append(a.cmp[gi], float64(p.compare.col.Ints[row]))
+							a.cmp[gi].Add(float64(p.compare.col.Ints[row]))
 						} else {
-							a.cmp[gi] = append(a.cmp[gi], p.compare.col.Floats[row])
+							a.cmp[gi].Add(p.compare.col.Floats[row])
 						}
 					}
 				}
@@ -539,9 +542,13 @@ func tokensEqual(a, b []uint64) bool {
 	return true
 }
 
-// execGrouped runs the partitioned parallel scan and deterministic merge,
-// returning merged groups in a deterministic order plus the totals row.
-func execGrouped(p *plan) (*accSet, error) {
+// scanGrouped runs the partitioned parallel scan, returning one
+// accumulator set per fixed-width partition, in partition-index order. No
+// merging happens here: the merge order is the single determinism-bearing
+// step and is fixed by mergeGrouped, which lets a federation coordinator
+// splice partials from many shards into the exact global partition
+// sequence a single process would have walked.
+func scanGrouped(p *plan) []*accSet {
 	n := p.f.NumRows
 	parts := (n + partitionRows - 1) / partitionRows
 	results := make([]*accSet, parts)
@@ -576,11 +583,16 @@ func execGrouped(p *plan) (*accSet, error) {
 		}()
 	}
 	wg.Wait()
+	return results
+}
 
-	// Sequential merge in partition-index order: the only ordering that
-	// matters is fixed here, not in the scheduler.
+// mergeGrouped folds per-partition accumulator sets into one global set,
+// in the order given, and applies the empty-result rules. Sequential merge
+// in partition-index order: the only ordering that matters is fixed here,
+// not in the scheduler (or, federated, in the shard scatter).
+func mergeGrouped(p *plan, partitions []*accSet) (*accSet, error) {
 	global := newAccSet(p)
-	for _, part := range results {
+	for _, part := range partitions {
 		global.merge(part)
 	}
 
@@ -707,25 +719,26 @@ type execRow struct {
 }
 
 // Run executes q against fs. The result is deterministic: identical input
-// bytes yield identical output bytes at any GOMAXPROCS.
+// bytes yield identical output bytes at any GOMAXPROCS. Run is exactly
+// ExecPartial followed by MergeRun over the single resulting partial, so
+// the federated scatter-gather path (internal/shard) is byte-identical to
+// single-process execution by construction, not by coincidence.
 func Run(fs *FrameSet, q *Query) (*Result, error) {
 	p, err := compile(fs, q)
 	if err != nil {
 		return nil, err
 	}
-	if !p.grouped {
-		return runSelect(p)
-	}
-	return runGrouped(p)
+	part := execPartial(p, q)
+	return mergeRun(p, q, []*Partial{part})
 }
 
-// runSelect evaluates a projection in frame row order. A counting pass
-// sizes the output first so the fill loop only slices preallocated arenas
-// — three allocations total instead of three per matching row.
+// scanSelect evaluates a projection in frame row order, pre-sort and
+// pre-limit. A counting pass sizes the output first so the fill loop only
+// slices preallocated arenas — three allocations total instead of three
+// per matching row.
 //
 //whpcvet:hot
-func runSelect(p *plan) (*Result, error) {
-	res := newResult(p)
+func scanSelect(p *plan) []execRow {
 	nmatch := 0
 	for row := 0; row < p.f.NumRows; row++ {
 		if matchFilter(p.where, row) {
@@ -750,6 +763,12 @@ func runSelect(p *plan) (*Result, error) {
 			tokens: tokArena[base : base+k : base+k],
 		})
 	}
+	return rows
+}
+
+// finalizeSelect sorts, limits and packages projected rows.
+func finalizeSelect(p *plan, rows []execRow) (*Result, error) {
+	res := newResult(p)
 	sortRows(p, rows)
 	if p.limit > 0 && len(rows) > p.limit {
 		rows = rows[:p.limit]
@@ -778,13 +797,9 @@ func columnValue(col *Column, row int) Value {
 	}
 }
 
-// runGrouped evaluates a grouped query: parallel scan, deterministic
-// merge, optional domain completion, sort, limit, totals, compare.
-func runGrouped(p *plan) (*Result, error) {
-	acc, err := execGrouped(p)
-	if err != nil {
-		return nil, err
-	}
+// finalizeGrouped renders a merged accumulator set: optional domain
+// completion, sort, limit, totals, compare.
+func finalizeGrouped(p *plan, acc *accSet) (*Result, error) {
 	groups := acc.order
 	if p.complete {
 		groups = completeGroups(p, acc)
@@ -857,13 +872,13 @@ func runCompare(p *plan, acc *accSet) (*CompareResult, error) {
 	}
 	switch cp.test {
 	case "welch":
-		t, err := stats.WelchTTest(acc.cmp[0], acc.cmp[1])
+		t, err := stats.WelchTTestFromMoments(acc.cmp[0], acc.cmp[1])
 		if err != nil {
 			// Too few observations is a property of the data slice, not of
 			// the query shape: surface it as the empty-result condition.
 			return nil, fmt.Errorf("%w: %v", ErrEmpty, err)
 		}
-		cr.N = [2]int{len(acc.cmp[0]), len(acc.cmp[1])}
+		cr.N = [2]int{acc.cmp[0].N, acc.cmp[1].N}
 		cr.Stat, cr.DF, cr.P, cr.Method = t.T, t.DF, t.P, "welch-t"
 	case "chisq":
 		g0 := acc.lookup(cp.tokens[0])

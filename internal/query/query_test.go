@@ -255,8 +255,19 @@ func TestWelchCompareMatchesStats(t *testing.T) {
 	if res.Compare == nil {
 		t.Fatal("no compare result")
 	}
+	// The engine accumulates Welch sufficient statistics per 1024-row
+	// partition and merges the partials in partition order; replaying that
+	// exact addition tree over the raw dataset reproduces its result to
+	// the last bit. The papers frame is built by walking testData.Papers
+	// in order, so paper index == frame row index.
 	var women, men []float64
-	for _, p := range testData.Papers {
+	var womenM, menM, womenPart, menPart stats.Moments
+	for i, p := range testData.Papers {
+		if i > 0 && i%partitionRows == 0 {
+			womenM.Merge(womenPart)
+			menM.Merge(menPart)
+			womenPart, menPart = stats.Moments{}, stats.Moments{}
+		}
 		lead, ok := testData.Person(p.Lead())
 		if !ok {
 			continue
@@ -264,11 +275,15 @@ func TestWelchCompareMatchesStats(t *testing.T) {
 		switch lead.Gender.String() {
 		case "female":
 			women = append(women, float64(p.Citations36))
+			womenPart.Add(float64(p.Citations36))
 		case "male":
 			men = append(men, float64(p.Citations36))
+			menPart.Add(float64(p.Citations36))
 		}
 	}
-	want, err := stats.WelchTTest(women, men)
+	womenM.Merge(womenPart)
+	menM.Merge(menPart)
+	want, err := stats.WelchTTestFromMoments(womenM, menM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,6 +293,16 @@ func TestWelchCompareMatchesStats(t *testing.T) {
 	if res.Compare.Stat != want.T || res.Compare.DF != want.DF || res.Compare.P != want.P {
 		t.Errorf("welch = (%v, %v, %v), want (%v, %v, %v)",
 			res.Compare.Stat, res.Compare.DF, res.Compare.P, want.T, want.DF, want.P)
+	}
+	// The moment form must also agree with the classical slice form to
+	// statistical precision — same test, different summation tree.
+	classic, err := stats.WelchTTest(women, men)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(res.Compare.Stat, classic.T) || !stats.AlmostEqual(res.Compare.DF, classic.DF) || !stats.AlmostEqual(res.Compare.P, classic.P) {
+		t.Errorf("moment welch (%v, %v, %v) diverged from pooled-sample welch (%v, %v, %v)",
+			res.Compare.Stat, res.Compare.DF, res.Compare.P, classic.T, classic.DF, classic.P)
 	}
 }
 

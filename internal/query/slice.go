@@ -1,0 +1,46 @@
+package query
+
+import "fmt"
+
+// Slice returns a zero-copy view of rows [lo, hi) of the frame. Column
+// vectors are re-sliced in place and dictionaries are shared, so group
+// tokens, dictionary codes and dense-layout strides stay identical across
+// every view of the same frame — the property that lets shard partials
+// merge without any code remapping.
+//
+// lo must be a multiple of 64 so the boolean and validity bitmaps can be
+// word-sliced without shifting; shard boundaries are multiples of
+// PartitionRows (itself a multiple of 64), which also keeps the view's
+// internal partition grid aligned with the parent frame's.
+func (f *Frame) Slice(lo, hi int) (*Frame, error) {
+	if lo < 0 || hi < lo || hi > f.NumRows {
+		return nil, fmt.Errorf("query: slice [%d, %d) out of range for frame %q (%d rows)", lo, hi, f.Name, f.NumRows)
+	}
+	if lo%64 != 0 {
+		return nil, fmt.Errorf("query: slice start %d is not word-aligned (multiple of 64)", lo)
+	}
+	n := hi - lo
+	loWord := lo / 64
+	hiWord := (hi + 63) / 64
+	cols := make([]*Column, len(f.cols))
+	for i, c := range f.cols {
+		sc := &Column{Name: c.Name, Type: c.Type, Dict: c.Dict}
+		if c.Ints != nil {
+			sc.Ints = c.Ints[lo:hi:hi]
+		}
+		if c.Floats != nil {
+			sc.Floats = c.Floats[lo:hi:hi]
+		}
+		if c.Codes != nil {
+			sc.Codes = c.Codes[lo:hi:hi]
+		}
+		if c.Bools != nil {
+			sc.Bools = c.Bools[loWord:hiWord:hiWord]
+		}
+		if c.Valid != nil {
+			sc.Valid = c.Valid[loWord:hiWord:hiWord]
+		}
+		cols[i] = sc
+	}
+	return newFrame(f.Name, n, cols), nil
+}

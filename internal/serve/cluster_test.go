@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// clusterServer boots a server in cluster mode alongside its registry.
+func clusterServer(t *testing.T, shards int, mut func(*Config)) (*Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s := newTestServer(t, func(c *Config) {
+		c.ClusterShards = shards
+		c.Metrics = reg
+		if mut != nil {
+			mut(c)
+		}
+	})
+	return s, reg
+}
+
+// TestClusterQueryByteIdenticalToSingleProcess is the serving-layer half of
+// the federation contract: every exhibit query POSTed to a cluster-mode
+// server returns exactly the bytes the single-process server returns.
+func TestClusterQueryByteIdenticalToSingleProcess(t *testing.T) {
+	single := newTestServer(t, nil)
+	clustered, reg := clusterServer(t, 4, nil)
+	for _, eq := range repro.ExhibitQueries() {
+		spec := string(eq.Query.Canonical())
+		want := postQuery(t, single, spec)
+		got := postQuery(t, clustered, spec)
+		if want.Code != http.StatusOK || got.Code != http.StatusOK {
+			t.Fatalf("%s: single=%d clustered=%d: %s", eq.Name, want.Code, got.Code, got.Body.String())
+		}
+		if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+			t.Errorf("%s: clustered response differs from single-process", eq.Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Each of the exhibit queries fanned out to 4 shards exactly once.
+	wantFanout := "whpcd_shard_fanout_total " + itoa(4*len(repro.ExhibitQueries()))
+	if !strings.Contains(buf.String(), wantFanout) {
+		t.Errorf("/metrics missing %q after federated queries", wantFanout)
+	}
+	if !strings.Contains(buf.String(), "whpcd_shard_retries_total 0") {
+		t.Error("/metrics missing zero-valued shard retry counter")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestClusterWorkerKillRetriesThenTyped503 kills one worker (the query
+// retries on replicas and still answers byte-identically), then every
+// worker (the query fails with the typed 503 envelope).
+func TestClusterWorkerKillRetriesThenTyped503(t *testing.T) {
+	single := newTestServer(t, nil)
+	clustered, reg := clusterServer(t, 4, nil)
+	eq, ok := repro.ExhibitQueryByName("far_per_conference")
+	if !ok {
+		t.Fatal("no far_per_conference exhibit query")
+	}
+	spec := string(eq.Query.Canonical())
+
+	// Prime the placement, then kill each worker in turn. Every kill hits
+	// the primary of at least one shard across the loop (each shard has
+	// exactly one primary), so the retry counter must move. Each probe uses
+	// a distinct limit so the exhibit cache never short-circuits execution.
+	if rec := postQuery(t, clustered, spec); rec.Code != http.StatusOK {
+		t.Fatalf("priming query: %d: %s", rec.Code, rec.Body.String())
+	}
+	probe := `{"frame":"papers","group_by":[{"col":"conference"}],"aggs":[{"op":"count","as":"n"}],"limit":%d}`
+	for w := 0; w < clustered.cluster.Workers(); w++ {
+		clustered.cluster.KillWorker(w)
+		got := postQuery(t, clustered, fmt.Sprintf(probe, 40+w))
+		if got.Code != http.StatusOK {
+			t.Fatalf("status with worker %d down = %d: %s", w, got.Code, got.Body.String())
+		}
+		single2 := postQuery(t, single, fmt.Sprintf(probe, 40+w))
+		if !bytes.Equal(got.Body.Bytes(), single2.Body.Bytes()) {
+			t.Errorf("response with worker %d down differs from single-process bytes", w)
+		}
+		clustered.cluster.ReviveWorker(w)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "whpcd_shard_retries_total 0") {
+		t.Error("killing every worker in turn produced no shard retries")
+	}
+
+	for w := 0; w < clustered.cluster.Workers(); w++ {
+		clustered.cluster.KillWorker(w)
+	}
+	// A fresh spec dodges the exhibit cache entry of the successful run.
+	down := postQuery(t, clustered, `{"frame":"papers","group_by":[{"col":"conference"}],"aggs":[{"op":"count","as":"n"}],"limit":3}`)
+	if down.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status with all workers down = %d, want 503: %s", down.Code, down.Body.String())
+	}
+	dto := decodeQueryError(t, down)
+	if !strings.Contains(dto.Error, "no replica available") {
+		t.Errorf("error envelope %q does not name the replica exhaustion", dto.Error)
+	}
+}
+
+// TestClusterEvictionDropsPlacements ties the registry LRU to the shard
+// cluster: when a study is evicted, its placements go with it, and a later
+// query against the re-materialized study re-places and still answers.
+func TestClusterEvictionDropsPlacements(t *testing.T) {
+	clustered, _ := clusterServer(t, 2, func(c *Config) { c.StudyCap = 1 })
+	spec := `{"frame":"papers","group_by":[{"col":"conference"}],"aggs":[{"op":"count","as":"n"}],"limit":3}`
+	if rec := postQuery(t, clustered, spec); rec.Code != http.StatusOK {
+		t.Fatalf("first query: %d: %s", rec.Code, rec.Body.String())
+	}
+	key := StudyKey{Seed: testSeed, Corpus: CorpusDefault}
+	if !clustered.cluster.Placed(key.String()) {
+		t.Fatal("study not placed after federated query")
+	}
+	// Materializing a second study evicts the first from the 1-deep LRU.
+	if rec := get(t, clustered, "/v1/far?seed=99"); rec.Code != http.StatusOK {
+		t.Fatalf("evicting request: %d: %s", rec.Code, rec.Body.String())
+	}
+	if clustered.cluster.Placed(key.String()) {
+		t.Fatal("evicted study still has shard placements")
+	}
+	// The study re-materializes and re-places lazily.
+	if rec := postQuery(t, clustered, `{"frame":"papers","group_by":[{"col":"conference"}],"aggs":[{"op":"count","as":"n"}],"limit":5}`); rec.Code != http.StatusOK {
+		t.Fatalf("query after eviction: %d: %s", rec.Code, rec.Body.String())
+	}
+	if !clustered.cluster.Placed(key.String()) {
+		t.Fatal("study not re-placed after re-materialization")
+	}
+}
+
+// TestMetricsByteDeterministicWithShardFamilies renders the registry of an
+// exercised cluster-mode server twice and requires identical bytes, with
+// all three shard families present — the satellite contract that /metrics
+// output is a pure function of the counters' state.
+func TestMetricsByteDeterministicWithShardFamilies(t *testing.T) {
+	clustered, reg := clusterServer(t, 4, nil)
+	spec := `{"frame":"papers","group_by":[{"col":"conference"}],"aggs":[{"op":"count","as":"n"}],"limit":3}`
+	if rec := postQuery(t, clustered, spec); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d: %s", rec.Code, rec.Body.String())
+	}
+	var a, b bytes.Buffer
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two /metrics renderings of identical state differ")
+	}
+	for _, fam := range []string{
+		"whpcd_shard_fanout_total",
+		"whpcd_shard_retries_total",
+		"whpcd_shard_merge_seconds",
+	} {
+		if !strings.Contains(a.String(), fam) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+	// The single-process server exposes the same families at zero, keeping
+	// the rendered family set boot-mode independent.
+	plainReg := obs.NewRegistry()
+	newTestServer(t, func(c *Config) { c.Metrics = plainReg })
+	var p bytes.Buffer
+	if err := plainReg.WritePrometheus(&p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "whpcd_shard_fanout_total 0") {
+		t.Error("single-process /metrics missing zero-valued shard fanout family")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/shard"
 	"repro/internal/snap"
 )
 
@@ -88,6 +89,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		http.Error(w, fmt.Sprintf("deadline exceeded: %v", err), http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled):
 		http.Error(w, fmt.Sprintf("request cancelled: %v", err), http.StatusServiceUnavailable)
+	case errors.Is(err, shard.ErrShardUnavailable):
+		// Every replica of some shard is gone: fail-operational means a
+		// typed 503 — retryable, never a silently partial answer.
+		http.Error(w, fmt.Sprintf("shard unavailable: %v", err), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -102,6 +107,8 @@ func errorStatus(err error) int {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, shard.ErrShardUnavailable):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro"
 	"repro/internal/chaos"
 	"repro/internal/query"
 )
@@ -35,6 +36,25 @@ func writeQueryError(w http.ResponseWriter, status int, msg string) {
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
 	_, _ = w.Write(body)
+}
+
+// runQuery executes one parsed query against the study: single-process
+// through the engine, or — in cluster mode — scatter-gathered across the
+// shard federation. Placement is lazy and idempotent, keyed by the study
+// key's canonical string (the same identity the exhibit cache uses), so
+// the first federated query of a study splits and places its frames and
+// every later one reuses the placement. The two paths are byte-identical
+// by the federation contract; cluster mode adds replica failover and the
+// whpcd_shard_* telemetry.
+func (s *Server) runQuery(ctx context.Context, key StudyKey, st *repro.Study, q *query.Query) (*query.Result, error) {
+	if s.cluster == nil {
+		return st.Query(q)
+	}
+	study := key.String()
+	if err := s.cluster.Place(study, st.Frames()); err != nil {
+		return nil, err
+	}
+	return s.cluster.Query(ctx, study, q)
 }
 
 // handleQuery serves POST /v1/query: an ad-hoc columnar query against the
@@ -89,7 +109,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		start := s.clock.Now()
 		defer func() { s.met.renders.ObserveDuration(s.clock.Now().Sub(start)) }()
-		res, err := st.Query(q)
+		res, err := s.runQuery(ctx, key, st, q)
 		if err != nil {
 			return nil, err
 		}

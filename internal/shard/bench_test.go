@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro"
+	"repro/internal/query"
+)
+
+// benchOut, when set, makes TestWriteShardBench measure the federation
+// benchmarks with testing.Benchmark and write the trajectory JSON there:
+//
+//	go test ./internal/shard -run TestWriteShardBench -shard.bench BENCH_shard.json
+var benchOut = flag.String("shard.bench", "", "write the shard benchmark trajectory JSON to this path")
+
+// benchGroupBySpec is the paper's FAR-by-conference group-by — the
+// serving layer's flagship query — and benchCompareSpec the Welch compare
+// kernel, the heaviest merge path (per-partition moment partials).
+func benchGroupBySpec() *query.Query {
+	for _, eq := range repro.ExhibitQueries() {
+		if eq.Name == "far_by_conference" {
+			return eq.Query
+		}
+	}
+	return repro.ExhibitQueries()[0].Query
+}
+
+func benchRows(q *query.Query) int {
+	f, ok := testFrames.Frame(q.Frame)
+	if !ok {
+		panic("bench: unknown frame " + q.Frame)
+	}
+	return f.NumRows
+}
+
+func benchCluster(b *testing.B, shards int) *Cluster {
+	b.Helper()
+	c, err := New(Config{Shards: shards, Workers: shards, Replicas: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Place("study", testFrames); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchSingle(b *testing.B, q *query.Query) {
+	rows := benchRows(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Run(testFrames, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func benchFederated(b *testing.B, q *query.Query, shards int) {
+	c := benchCluster(b, shards)
+	rows := benchRows(q)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(ctx, "study", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkFederatedGroupBy(b *testing.B) {
+	q := benchGroupBySpec()
+	b.Run("single", func(b *testing.B) { benchSingle(b, q) })
+	for _, shards := range []int{4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchFederated(b, q, shards) })
+	}
+}
+
+func BenchmarkFederatedWelchCompare(b *testing.B) {
+	q := welchSpec()
+	b.Run("single", func(b *testing.B) { benchSingle(b, q) })
+	for _, shards := range []int{4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchFederated(b, q, shards) })
+	}
+}
+
+func BenchmarkFederatedChiSqCompare(b *testing.B) {
+	q := chisqSpec()
+	b.Run("single", func(b *testing.B) { benchSingle(b, q) })
+	for _, shards := range []int{4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchFederated(b, q, shards) })
+	}
+}
+
+// benchEntry is one (workload, topology) measurement in BENCH_shard.json.
+type benchEntry struct {
+	Workload  string  `json:"workload"`
+	Shards    int     `json:"shards"` // 0 = unsharded query.Run
+	NsPerOp   int64   `json:"ns_per_op"`
+	RowsPerSc float64 `json:"rows_per_sec"`
+	Rows      int     `json:"rows"`
+	N         int     `json:"iterations"`
+}
+
+// TestWriteShardBench regenerates BENCH_shard.json. It is gated behind
+// -shard.bench so the regular test run stays fast; CI and re-anchors
+// invoke it explicitly.
+func TestWriteShardBench(t *testing.T) {
+	if *benchOut == "" {
+		t.Skip("-shard.bench not set")
+	}
+	workloads := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"group_by_far_by_conference", benchGroupBySpec()},
+		{"compare_welch_citations", welchSpec()},
+		{"compare_chisq_pc_vs_author", chisqSpec()},
+	}
+	var entries []benchEntry
+	for _, w := range workloads {
+		for _, shards := range []int{0, 4, 8} {
+			q, shards := w.q, shards
+			r := testing.Benchmark(func(b *testing.B) {
+				if shards == 0 {
+					benchSingle(b, q)
+				} else {
+					benchFederated(b, q, shards)
+				}
+			})
+			entries = append(entries, benchEntry{
+				Workload:  w.name,
+				Shards:    shards,
+				NsPerOp:   r.NsPerOp(),
+				RowsPerSc: r.Extra["rows/s"],
+				Rows:      benchRows(q),
+				N:         r.N,
+			})
+			t.Logf("%s shards=%d: %v", w.name, shards, r)
+		}
+	}
+	doc := struct {
+		Suite      string       `json:"suite"`
+		GoVersion  string       `json:"go_version"`
+		GOMAXPROCS int          `json:"gomaxprocs"`
+		Corpus     string       `json:"corpus"`
+		Entries    []benchEntry `json:"entries"`
+	}{
+		Suite:      "internal/shard federation",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Corpus:     "synth.Default2017(2021)",
+		Entries:    entries,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchOut, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/leakcheck"
+	"repro/internal/query"
+	"repro/internal/resilience"
+)
+
+// TestScatterFaultsRetryByteIdentical arms one fault on the first attempt
+// of three different shards — an error, a panic and a cancel — and
+// requires every one to cost exactly one replica retry and zero bytes of
+// the answer.
+func TestScatterFaultsRetryByteIdentical(t *testing.T) {
+	defer leakcheck.Check(t)
+	q := welchSpec()
+	base, err := query.Run(testFrames, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderJSON(t, base)
+
+	inj := chaos.NewScheduled(&chaos.Schedule{
+		Seed: 1, Profile: "shard-manual",
+		Triggers: []chaos.Trigger{
+			{Point: chaos.PointScatter, Hit: 1, Fault: chaos.Fault{Kind: chaos.KindError}},
+			{Point: chaos.PointScatter, Hit: 3, Fault: chaos.Fault{Kind: chaos.KindPanic}},
+			{Point: chaos.PointScatter, Hit: 5, Fault: chaos.Fault{Kind: chaos.KindCancel}},
+			{Point: chaos.PointMerge, Hit: 1, Fault: chaos.Fault{Kind: chaos.KindLatency, Latency: 5 * time.Millisecond}},
+		},
+	})
+	var retries atomic.Int64
+	clock := resilience.NewVirtualClock(time.Unix(0, 0))
+	c, err := New(Config{
+		Shards: 4, Workers: 4, Replicas: 2,
+		Chaos: inj, Clock: clock,
+		Hooks: Hooks{Retry: func() { retries.Add(1) }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place("study", testFrames); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(context.Background(), "study", q)
+	if err != nil {
+		t.Fatalf("query under scatter faults: %v", err)
+	}
+	if got := renderJSON(t, res); !bytes.Equal(got, want) {
+		t.Error("result under scatter faults differs from fault-free baseline")
+	}
+	if got := retries.Load(); got != 3 {
+		t.Errorf("retries = %d, want 3 (one per faulted first attempt)", got)
+	}
+	const wantFired = "shard.scatter#1=error shard.scatter#3=panic shard.scatter#5=cancel shard.merge#1=latency"
+	if got := inj.FiredString(); got != wantFired {
+		t.Errorf("fired log = %q, want %q", got, wantFired)
+	}
+}
+
+// TestExhaustedReplicasUnderChaosIsTyped arms faults on both attempts of
+// shard 0: the query must fail typed, never return a partial answer.
+func TestExhaustedReplicasUnderChaosIsTyped(t *testing.T) {
+	defer leakcheck.Check(t)
+	inj := chaos.NewScheduled(&chaos.Schedule{
+		Seed: 1, Profile: "shard-manual",
+		Triggers: []chaos.Trigger{
+			{Point: chaos.PointScatter, Hit: 1, Fault: chaos.Fault{Kind: chaos.KindError}},
+			{Point: chaos.PointScatter, Hit: 2, Fault: chaos.Fault{Kind: chaos.KindPanic}},
+		},
+	})
+	c, err := New(Config{Shards: 2, Workers: 2, Replicas: 2, Chaos: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place("study", testFrames); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Query(context.Background(), "study", welchSpec())
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+}
+
+// TestMergeFaultIsTyped arms an error at the merge point: the gathered
+// partials must be discarded and the failure surfaced typed.
+func TestMergeFaultIsTyped(t *testing.T) {
+	defer leakcheck.Check(t)
+	inj := chaos.NewScheduled(&chaos.Schedule{
+		Seed: 1, Profile: "shard-manual",
+		Triggers: []chaos.Trigger{
+			{Point: chaos.PointMerge, Hit: 1, Fault: chaos.Fault{Kind: chaos.KindError}},
+		},
+	})
+	c, err := New(Config{Shards: 2, Workers: 2, Chaos: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place("study", testFrames); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), "study", welchSpec()); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// The same query retried against the same cluster (trigger spent)
+	// succeeds with the canonical bytes.
+	res, err := c.Query(context.Background(), "study", welchSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := query.Run(testFrames, welchSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderJSON(t, res), renderJSON(t, base)) {
+		t.Error("post-fault retry differs from baseline")
+	}
+}
+
+// chaosOutcome captures one query's observable result for replay
+// comparison: its bytes on success, its error string on typed failure,
+// and the panic value if containment was exercised.
+func chaosOutcome(t *testing.T, c *Cluster, q *query.Query) string {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			// An injected merge panic unwinds through Query; the serving
+			// middleware's recover contains it in production. Contain it
+			// here the same way and fold it into the outcome.
+			if _, ok := r.(chaos.PanicValue); !ok {
+				panic(r)
+			}
+		}
+	}()
+	res, err := c.Query(context.Background(), "study", q)
+	switch {
+	case err == nil:
+		return string(renderJSON(t, res))
+	case errors.Is(err, chaos.ErrInjected) || errors.Is(err, ErrShardUnavailable) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "typed error: " + err.Error()
+	default:
+		t.Fatalf("untyped chaos failure: %v", err)
+		return ""
+	}
+}
+
+// TestShardProfileReplayIsDeterministic drives the stock shard profile at
+// three seeds, twice per seed: the fired-fault log and every query
+// outcome (bytes or typed error) must replay identically, and every
+// success must match the fault-free baseline byte-for-byte.
+func TestShardProfileReplayIsDeterministic(t *testing.T) {
+	defer leakcheck.Check(t)
+	specs := allSpecs()
+	baselines := make([]string, len(specs))
+	for i, q := range specs {
+		res, err := query.Run(testFrames, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baselines[i] = string(renderJSON(t, res))
+	}
+	for _, seed := range []uint64{7, 42, 2021} {
+		run := func() (string, []string) {
+			inj := chaos.NewScheduled(chaos.ShardProfile().Schedule(seed))
+			clock := resilience.NewVirtualClock(time.Unix(0, 0))
+			c, err := New(Config{Shards: 4, Workers: 4, Replicas: 2, Chaos: inj, Clock: clock})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Place("study", testFrames); err != nil {
+				t.Fatal(err)
+			}
+			outcomes := make([]string, len(specs))
+			for i, q := range specs {
+				outcomes[i] = chaosOutcome(t, c, q)
+			}
+			return inj.FiredString(), outcomes
+		}
+		fired1, out1 := run()
+		fired2, out2 := run()
+		if fired1 != fired2 {
+			t.Errorf("seed %d: fired log not reproducible:\n%s\n%s", seed, fired1, fired2)
+		}
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				t.Errorf("seed %d spec %d: outcome not reproducible", seed, i)
+			}
+			if out1[i] == "" {
+				continue // contained panic
+			}
+			if !isTypedErrOutcome(out1[i]) && out1[i] != baselines[i] {
+				t.Errorf("seed %d spec %d: successful response differs from fault-free baseline", seed, i)
+			}
+		}
+		if testing.Verbose() {
+			fmt.Printf("seed %d fired: %s\n", seed, fired1)
+		}
+	}
+}
+
+func isTypedErrOutcome(s string) bool {
+	return len(s) > 12 && s[:12] == "typed error:"
+}

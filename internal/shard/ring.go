@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over worker indexes. Each worker owns
+// vnodes points on a 64-bit circle; a key maps to the first point at or
+// after its hash. Placement is a pure function of (workers, vnodes, key),
+// so every process that builds the same ring agrees on every placement
+// without coordination — and adding a worker moves only the keys that land
+// on its new points.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // worker count
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+// NewRing builds a ring over n workers with the given vnodes per worker
+// (vnodes < 1 defaults to 16).
+func NewRing(n, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 16
+	}
+	r := &Ring{n: n, points: make([]ringPoint, 0, n*vnodes)}
+	for w := 0; w < n; w++ {
+		for v := 0; v < vnodes; v++ {
+			key := "worker=" + strconv.Itoa(w) + "/vnode=" + strconv.Itoa(v)
+			r.points = append(r.points, ringPoint{hash: hashKey(key), worker: w})
+		}
+	}
+	// Ties broken by worker index so the ring order is total and
+	// deterministic even on (astronomically unlikely) hash collisions.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// Lookup returns the primary worker for key.
+func (r *Ring) Lookup(key string) int {
+	return r.Sequence(key, 1)[0]
+}
+
+// Sequence returns up to want distinct workers for key: the primary (the
+// first ring point at or after the key's hash) followed by the next
+// distinct workers in ring order. This is the replica placement order —
+// deterministic, and spread the way consistent hashing spreads load.
+func (r *Ring) Sequence(key string, want int) []int {
+	if want > r.n {
+		want = r.n
+	}
+	if want < 1 {
+		want = 1
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, want)
+	seen := make(map[int]bool, want)
+	for i := 0; i < len(r.points) && len(out) < want; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.worker] {
+			continue
+		}
+		seen[p.worker] = true
+		out = append(out, p.worker)
+	}
+	return out
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //whpcvet:ignore errcheck hash.Hash.Write never returns an error (hash package contract)
+	x := h.Sum64()
+	// FNV-1a hashes of structured keys ("worker=0/vnode=1", "…/vnode=2")
+	// differ only in their low bits, which clumps every vnode of a worker
+	// into one tight arc of the circle; a 64-bit avalanche finalizer
+	// (Murmur3 fmix64) spreads them uniformly.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,65 @@
+// Package shard is the federation layer between the columnar query engine
+// (internal/query) and the serving daemon: it splits a corpus's frames
+// into N partition-aligned shards, places each shard on in-process workers
+// via a consistent-hash ring with replicas, scatters a query.Spec to every
+// shard concurrently, and merges the per-shard partials deterministically.
+//
+// Determinism is the design center. The query engine scans fixed 1024-row
+// partitions and merges them in partition-index order; shards are cut on
+// partition boundaries and their partials carry per-partition accumulator
+// state, so the coordinator's merge — shard order, then partition order
+// within each shard — replays the exact addition tree a single process
+// would have walked. Federated results are therefore byte-identical to
+// single-shard execution at any GOMAXPROCS and any shard count, including
+// Welch-t (moment partials) and chi-squared (exact count) comparisons.
+//
+// Failure handling is fail-operational: a worker that dies mid-query
+// (literally killed, or via an injected shard.scatter fault) costs a retry
+// against the next replica, never a wrong answer. When every replica of a
+// shard is gone the query fails typed with ErrShardUnavailable — the
+// serving layer maps it to 503.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// Split cuts every frame of fs into n contiguous zero-copy shard views.
+// Shard boundaries are multiples of query.PartitionRows, which keeps every
+// shard's internal partition grid aligned with the parent frame's — the
+// precondition for byte-identical federated merges. Frames smaller than
+// one chunk land entirely in the leading shards; trailing shards hold
+// empty (zero-row) views, which the engine treats as ordinary scans that
+// match nothing.
+func Split(fs *query.FrameSet, n int) ([]*query.FrameSet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: split count %d, want >= 1", n)
+	}
+	shards := make([]*query.FrameSet, n)
+	for i := range shards {
+		frames := make([]*query.Frame, 0, len(fs.Names()))
+		for _, name := range fs.Names() {
+			f, _ := fs.Frame(name)
+			chunk := (f.NumRows + n - 1) / n
+			chunk = (chunk + query.PartitionRows - 1) / query.PartitionRows * query.PartitionRows
+			lo := i * chunk
+			hi := lo + chunk
+			if lo >= f.NumRows {
+				// Past the end of a small frame: an empty view, kept at an
+				// aligned position.
+				lo, hi = 0, 0
+			} else if hi > f.NumRows {
+				hi = f.NumRows
+			}
+			sf, err := f.Slice(lo, hi)
+			if err != nil {
+				return nil, fmt.Errorf("shard: split %s [%d, %d): %w", name, lo, hi, err)
+			}
+			frames = append(frames, sf)
+		}
+		shards[i] = query.AssembleFrameSet(frames)
+	}
+	return shards, nil
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randomSample(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		// Span several orders of magnitude like the citation vectors do,
+		// so summation-order sensitivity would actually show up here.
+		xs[i] = math.Exp(rng.NormFloat64()*2) * float64(1+i%7)
+	}
+	return xs
+}
+
+// splitAt cuts xs into parts at the given boundaries (a strictly
+// increasing list of indexes in [0, len]). Parts may be empty.
+func splitAt(xs []float64, cuts []int) [][]float64 {
+	parts := make([][]float64, 0, len(cuts)+1)
+	prev := 0
+	for _, c := range cuts {
+		parts = append(parts, xs[prev:c])
+		prev = c
+	}
+	return append(parts, xs[prev:])
+}
+
+func mergeParts(parts [][]float64) Moments {
+	var m Moments
+	for _, p := range parts {
+		m.Merge(MomentsOf(p))
+	}
+	return m
+}
+
+func TestMomentsMergeEqualsPooledOnEverySplit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 15))
+	xs := randomSample(rng, 257)
+	whole := MomentsOf(xs)
+	pooledMean := MustMean(xs)
+	pooledVar, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every two-way split, including the empty prefix (empty shard) and
+	// the length-1 prefix (single-row shard).
+	for cut := 0; cut <= len(xs); cut++ {
+		m := mergeParts(splitAt(xs, []int{cut}))
+		if m.N != whole.N {
+			t.Fatalf("cut %d: merged N = %d, want %d", cut, m.N, whole.N)
+		}
+		mean, err := m.Mean()
+		if err != nil {
+			t.Fatalf("cut %d: Mean: %v", cut, err)
+		}
+		if !AlmostEqual(mean, pooledMean) {
+			t.Fatalf("cut %d: merged mean %g != pooled %g", cut, mean, pooledMean)
+		}
+		v, err := m.Variance()
+		if err != nil {
+			t.Fatalf("cut %d: Variance: %v", cut, err)
+		}
+		if relDiff(v, pooledVar) > 1e-9 {
+			t.Fatalf("cut %d: merged variance %g != pooled %g", cut, v, pooledVar)
+		}
+	}
+}
+
+func TestMomentsMergeManyWaySplits(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 8))
+	xs := randomSample(rng, 300)
+	whole := MomentsOf(xs)
+	cutSets := [][]int{
+		{},                        // one shard
+		{0, 0, 0},                 // three leading empty shards
+		{1, 2, 3},                 // single-row shards
+		{100, 100, 200},           // an empty middle shard
+		{75, 150, 225},            // even four-way
+		{0, 1, 299, 300},          // empty + single + bulk + single + empty
+		{50, 50, 50, 50, 50, 300}, // repeated empty shards then the tail
+	}
+	for _, cuts := range cutSets {
+		m := mergeParts(splitAt(xs, cuts))
+		if m.N != whole.N {
+			t.Fatalf("cuts %v: merged N = %d, want %d", cuts, m.N, whole.N)
+		}
+		if relDiff(m.Sum, whole.Sum) > 1e-12 || relDiff(m.SumSq, whole.SumSq) > 1e-12 {
+			t.Fatalf("cuts %v: merged sums (%g, %g) far from whole (%g, %g)",
+				cuts, m.Sum, m.SumSq, whole.Sum, whole.SumSq)
+		}
+	}
+}
+
+func TestMomentsMergeIsOrderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	xs := randomSample(rng, 200)
+	parts := splitAt(xs, []int{64, 128, 192})
+	a := mergeParts(parts)
+	b := mergeParts(parts)
+	if a != b {
+		t.Fatalf("same merge order produced different partials: %+v vs %+v", a, b)
+	}
+}
+
+func TestWelchTTestFromMomentsMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 3))
+	x := randomSample(rng, 113)
+	y := randomSample(rng, 71)
+	want, err := WelchTTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every two-way split of x against every-other-split of y would be
+	// quadratic; split x at every cut with y fixed, then the reverse.
+	for cut := 0; cut <= len(x); cut++ {
+		got, err := WelchTTestFromMoments(mergeParts(splitAt(x, []int{cut})), MomentsOf(y))
+		if err != nil {
+			t.Fatalf("x cut %d: %v", cut, err)
+		}
+		checkWelchClose(t, got, want)
+	}
+	for cut := 0; cut <= len(y); cut++ {
+		got, err := WelchTTestFromMoments(MomentsOf(x), mergeParts(splitAt(y, []int{cut})))
+		if err != nil {
+			t.Fatalf("y cut %d: %v", cut, err)
+		}
+		checkWelchClose(t, got, want)
+	}
+}
+
+func checkWelchClose(t *testing.T, got, want TTestResult) {
+	t.Helper()
+	if got.NX != want.NX || got.NY != want.NY {
+		t.Fatalf("N mismatch: got (%d, %d), want (%d, %d)", got.NX, got.NY, want.NX, want.NY)
+	}
+	if !AlmostEqual(got.T, want.T) || !AlmostEqual(got.DF, want.DF) || !AlmostEqual(got.P, want.P) {
+		t.Fatalf("moment-form Welch diverged: got t=%g df=%g p=%g, want t=%g df=%g p=%g",
+			got.T, got.DF, got.P, want.T, want.DF, want.P)
+	}
+}
+
+func TestWelchTTestFromMomentsErrors(t *testing.T) {
+	two := MomentsOf([]float64{1, 2})
+	if _, err := WelchTTestFromMoments(MomentsOf([]float64{1}), two); err == nil {
+		t.Fatal("single-observation group: want ErrTooFew, got nil")
+	}
+	if _, err := WelchTTestFromMoments(Moments{}, two); err == nil {
+		t.Fatal("empty group: want ErrTooFew, got nil")
+	}
+	constA := MomentsOf([]float64{5, 5, 5})
+	constB := MomentsOf([]float64{5, 5, 5, 5})
+	if _, err := WelchTTestFromMoments(constA, constB); err == nil {
+		t.Fatal("two constant samples: want undefined-SE error, got nil")
+	}
+}
+
+func TestMomentsVarianceClampsNegativeZero(t *testing.T) {
+	// A constant sample makes Σx² - (Σx)²/n cancel to (possibly negative)
+	// dust; the clamp must report exactly zero, never a negative variance.
+	m := MomentsOf([]float64{1e8 + 1, 1e8 + 1, 1e8 + 1})
+	v, err := m.Variance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 {
+		t.Fatalf("variance = %g, want >= 0", v)
+	}
+}
+
+func TestMomentsMeanVarianceErrors(t *testing.T) {
+	var empty Moments
+	if _, err := empty.Mean(); err != ErrEmpty {
+		t.Fatalf("empty Mean err = %v, want ErrEmpty", err)
+	}
+	if _, err := empty.Variance(); err != ErrEmpty {
+		t.Fatalf("empty Variance err = %v, want ErrEmpty", err)
+	}
+	one := MomentsOf([]float64{3})
+	if _, err := one.Variance(); err != ErrTooFew {
+		t.Fatalf("n=1 Variance err = %v, want ErrTooFew", err)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 { //whpcvet:ignore floatcmp — exact zero scale means both values are exactly zero
+		return 0
+	}
+	return d / scale
+}
