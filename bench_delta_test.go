@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/synth"
+)
+
+// deltaBenchOut, when set, makes TestWriteDeltaBench measure the
+// incremental-maintenance benchmarks with testing.Benchmark and write the
+// trajectory JSON there:
+//
+//	go test . -run TestWriteDeltaBench -delta.bench BENCH_delta.json
+var deltaBenchOut = flag.String("delta.bench", "", "write the delta benchmark trajectory JSON to this path")
+
+// frameRowTotal sums rows across every frame of a set — the unit both
+// sides of the delta-vs-resynthesis comparison are normalized to.
+func frameRowTotal(fs *query.FrameSet) int {
+	total := 0
+	for _, name := range fs.Names() {
+		if f, ok := fs.Frame(name); ok {
+			total += f.NumRows
+		}
+	}
+	return total
+}
+
+// deltaBenchEntry is one measurement in BENCH_delta.json.
+type deltaBenchEntry struct {
+	Workload  string  `json:"workload"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	RowsPerSc float64 `json:"rows_per_sec"`
+	Rows      int     `json:"rows"` // frame rows the op is responsible for
+	N         int     `json:"iterations"`
+}
+
+// TestWriteDeltaBench regenerates BENCH_delta.json: appending SC'21 to a
+// warm flagship study via ApplyDelta, against resynthesizing the grown
+// corpus and rebuilding its frames from scratch. It is gated behind
+// -delta.bench so the regular test run stays fast; CI and re-anchors
+// invoke it explicitly.
+func TestWriteDeltaBench(t *testing.T) {
+	if *deltaBenchOut == "" {
+		t.Skip("-delta.bench not set")
+	}
+	full := deltaFix.cfg
+	full.Confs = append(append([]synth.ConfSpec(nil), deltaFix.cfg.Confs...), deltaFix.spec)
+
+	base, err := NewStudyFromConfig(deltaFix.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRows := frameRowTotal(base.Frames())
+	grownRows := frameRowTotal(deltaFix.resynth.Frames())
+	newRows := grownRows - baseRows
+
+	apply := testing.Benchmark(func(b *testing.B) {
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := NewStudyFromConfig(deltaFix.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Frames()
+			// Settle the setup's garbage outside the timed window; the
+			// measurement is the apply, not the base synthesis's GC debt.
+			runtime.GC()
+			b.StartTimer()
+			if err := s.ApplyDelta(deltaFix.info, deltaFix.mini); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+		}
+	})
+	resynth := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := NewStudyFromConfig(full)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Frames()
+		}
+	})
+
+	entries := []deltaBenchEntry{
+		{
+			Workload:  "delta_apply_sc21",
+			NsPerOp:   apply.NsPerOp(),
+			RowsPerSc: float64(newRows) / (float64(apply.NsPerOp()) / 1e9),
+			Rows:      newRows,
+			N:         apply.N,
+		},
+		{
+			Workload:  "full_resynthesis_and_frames",
+			NsPerOp:   resynth.NsPerOp(),
+			RowsPerSc: float64(grownRows) / (float64(resynth.NsPerOp()) / 1e9),
+			Rows:      grownRows,
+			N:         resynth.N,
+		},
+	}
+	t.Logf("delta apply: %v for %d new rows; resynthesis: %v for %d rows (%.1fx)",
+		apply, newRows, resynth, grownRows,
+		float64(resynth.NsPerOp())/float64(apply.NsPerOp()))
+
+	doc := struct {
+		Suite      string            `json:"suite"`
+		GoVersion  string            `json:"go_version"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		Corpus     string            `json:"corpus"`
+		Entries    []deltaBenchEntry `json:"entries"`
+	}{
+		Suite:      "internal/delta incremental maintenance",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Corpus:     "synth.FlagshipSeries(2021) + SC'21 year delta",
+		Entries:    entries,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*deltaBenchOut, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

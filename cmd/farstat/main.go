@@ -7,7 +7,12 @@
 // Usage:
 //
 //	farstat -dir DIR [-json]
-//	farstat -snap FILE [-json]
+//	farstat -snap FILE [-delta FILES] [-json]
+//
+// -delta applies year-delta snapshots (synthgen -delta-year) to the loaded
+// corpus before computing, comma-separated and in order. The statistics of
+// a base-plus-delta corpus are byte-identical to those of a corpus rebuilt
+// with the extra year from the start.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/dataset"
@@ -37,6 +43,7 @@ type summary struct {
 func main() {
 	dir := flag.String("dir", "", "corpus CSV directory")
 	snapIn := flag.String("snap", "", "corpus binary snapshot file")
+	deltaIn := flag.String("delta", "", "apply year-delta snapshots before computing (comma-separated files, in order)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	full := flag.Bool("full", false, "also print role, geography and sector breakdowns")
 	flag.Parse()
@@ -45,13 +52,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *dir, *snapIn, *asJSON, *full); err != nil {
+	if err := run(os.Stdout, *dir, *snapIn, *deltaIn, *asJSON, *full); err != nil {
 		fmt.Fprintln(os.Stderr, "farstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, dir, snapIn string, asJSON, full bool) error {
+func run(w io.Writer, dir, snapIn, deltaIn string, asJSON, full bool) error {
 	var study *repro.Study
 	var err error
 	if snapIn != "" {
@@ -61,6 +68,13 @@ func run(w io.Writer, dir, snapIn string, asJSON, full bool) error {
 	}
 	if err != nil {
 		return err
+	}
+	if deltaIn != "" {
+		for _, path := range strings.Split(deltaIn, ",") {
+			if err := study.ApplyDeltaFile(strings.TrimSpace(path)); err != nil {
+				return err
+			}
+		}
 	}
 	d := study.Dataset()
 	far := study.FAR()

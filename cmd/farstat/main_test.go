@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/delta"
+	"repro/internal/synth"
 )
 
 // saveTestCorpus writes the seed-7 corpus as CSVs and returns the study
@@ -31,7 +33,7 @@ func saveTestCorpus(t *testing.T) (*repro.Study, string) {
 func TestJSONSummaryMatchesStudy(t *testing.T) {
 	study, dir := saveTestCorpus(t)
 	var out bytes.Buffer
-	if err := run(&out, dir, "", true, false); err != nil {
+	if err := run(&out, dir, "", "", true, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var s summary
@@ -90,10 +92,10 @@ func TestSnapshotInputMatchesCSVInput(t *testing.T) {
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			var fromDir, fromSnap bytes.Buffer
-			if err := run(&fromDir, dir, "", mode.asJSON, mode.full); err != nil {
+			if err := run(&fromDir, dir, "", "", mode.asJSON, mode.full); err != nil {
 				t.Fatalf("run(-dir): %v", err)
 			}
-			if err := run(&fromSnap, "", snapPath, mode.asJSON, mode.full); err != nil {
+			if err := run(&fromSnap, "", snapPath, "", mode.asJSON, mode.full); err != nil {
 				t.Fatalf("run(-snap): %v", err)
 			}
 			if !bytes.Equal(fromDir.Bytes(), fromSnap.Bytes()) {
@@ -107,7 +109,7 @@ func TestSnapshotInputMatchesCSVInput(t *testing.T) {
 func TestTextOutputShape(t *testing.T) {
 	_, dir := saveTestCorpus(t)
 	var out bytes.Buffer
-	if err := run(&out, dir, "", false, false); err != nil {
+	if err := run(&out, dir, "", "", false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, want := range []string{"corpus:", "female author ratio:", "PC women ratio:"} {
@@ -120,10 +122,72 @@ func TestTextOutputShape(t *testing.T) {
 // TestErrorOnMissingInput: a nonexistent directory must surface an error,
 // not a zero-valued summary.
 func TestErrorOnMissingInput(t *testing.T) {
-	if err := run(&bytes.Buffer{}, t.TempDir()+"/nope", "", false, false); err == nil {
+	if err := run(&bytes.Buffer{}, t.TempDir()+"/nope", "", "", false, false); err == nil {
 		t.Error("run over a missing directory succeeded")
 	}
-	if err := run(&bytes.Buffer{}, "", t.TempDir()+"/nope.whpcsnap", false, false); err == nil {
+	if err := run(&bytes.Buffer{}, "", t.TempDir()+"/nope.whpcsnap", "", false, false); err == nil {
 		t.Error("run over a missing snapshot succeeded")
+	}
+}
+
+// TestDeltaAppliedMatchesFullRebuild is the CLI-level byte-identity proof
+// for the longitudinal workload: farstat over a base snapshot plus -delta
+// prints exactly the bytes farstat prints over a snapshot of the corpus
+// resynthesized with the extra year from the start — in text, JSON, and
+// -full modes.
+func TestDeltaAppliedMatchesFullRebuild(t *testing.T) {
+	dir := t.TempDir()
+	cfg := synth.FlagshipSeries(7)
+	base, err := repro.NewStudyFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "base.whpcsnap")
+	if err := base.SaveSnapshot(basePath); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := synth.YearSpec(cfg, "SC", 2021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yd, baseCorpus, err := synth.GenerateYearDelta(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaPath := filepath.Join(dir, "sc21.delta.whpcsnap")
+	if err := delta.WriteFile(deltaPath, yd, baseCorpus.Data); err != nil {
+		t.Fatal(err)
+	}
+	full := cfg
+	full.Confs = append(append([]synth.ConfSpec(nil), cfg.Confs...), spec)
+	grown, err := repro.NewStudyFromConfig(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grownPath := filepath.Join(dir, "grown.whpcsnap")
+	if err := grown.SaveSnapshot(grownPath); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name         string
+		asJSON, full bool
+	}{
+		{"text", false, false},
+		{"json", true, false},
+		{"full", false, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			var applied, rebuilt bytes.Buffer
+			if err := run(&applied, "", basePath, deltaPath, mode.asJSON, mode.full); err != nil {
+				t.Fatalf("run(-snap base -delta): %v", err)
+			}
+			if err := run(&rebuilt, "", grownPath, "", mode.asJSON, mode.full); err != nil {
+				t.Fatalf("run(-snap grown): %v", err)
+			}
+			if !bytes.Equal(applied.Bytes(), rebuilt.Bytes()) {
+				t.Error("delta-applied output differs from the fully rebuilt corpus's")
+			}
+		})
 	}
 }

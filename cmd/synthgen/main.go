@@ -5,9 +5,17 @@
 // Usage:
 //
 //	synthgen [-out DIR] [-snap FILE] [-seed N] [-flagship]
+//	synthgen -delta-year N [-delta-series S] -snap FILE [-seed N] [-flagship]
 //
 // At least one of -out (CSV directory) or -snap (binary .whpcsnap file,
 // corpus plus pre-built query frames) is required.
+//
+// With -delta-year, synthgen writes a year-delta snapshot instead of a
+// full corpus: the next edition of -delta-series (default SC), calibrated
+// by cloning the series' latest spec, packaged with the base-corpus
+// fingerprint so it can only ever be applied to the corpus it extends
+// (whpc -delta-in, or a whpcd snapshot directory). The delta goes to
+// -snap; -out does not apply.
 package main
 
 import (
@@ -17,6 +25,8 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/delta"
+	"repro/internal/synth"
 )
 
 func main() {
@@ -24,6 +34,8 @@ func main() {
 	out := flag.String("out", "", "output directory for the CSV files")
 	snapOut := flag.String("snap", "", "output file for a binary snapshot (corpus + query frames)")
 	flagship := flag.Bool("flagship", false, "generate the SC/ISC 2016-2020 corpus instead of the 2017 one")
+	deltaYear := flag.Int("delta-year", 0, "write a year-delta snapshot for this year instead of a full corpus")
+	deltaSeries := flag.String("delta-series", "SC", "conference series the -delta-year edition extends")
 	flag.Parse()
 
 	if *out == "" && *snapOut == "" {
@@ -31,13 +43,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *seed, *out, *snapOut, *flagship); err != nil {
+	if err := run(os.Stdout, *seed, *out, *snapOut, *flagship, *deltaYear, *deltaSeries); err != nil {
 		fmt.Fprintln(os.Stderr, "synthgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, seed uint64, out, snapOut string, flagship bool) error {
+func run(w io.Writer, seed uint64, out, snapOut string, flagship bool, deltaYear int, deltaSeries string) error {
+	if deltaYear != 0 {
+		return runDelta(w, seed, out, snapOut, flagship, deltaYear, deltaSeries)
+	}
 	var study *repro.Study
 	var err error
 	if flagship {
@@ -62,5 +77,35 @@ func run(w io.Writer, seed uint64, out, snapOut string, flagship bool) error {
 		}
 		fmt.Fprintf(w, "wrote snapshot %s\n", snapOut)
 	}
+	return nil
+}
+
+// runDelta writes the -delta-year year-delta snapshot: the deriving
+// YearSpec, the synthesized contribution, and the base fingerprint, all in
+// one .whpcsnap delta file at -snap.
+func runDelta(w io.Writer, seed uint64, out, snapOut string, flagship bool, deltaYear int, deltaSeries string) error {
+	if snapOut == "" {
+		return fmt.Errorf("-delta-year writes a delta snapshot: -snap is required")
+	}
+	if out != "" {
+		return fmt.Errorf("-delta-year writes a delta snapshot, not a CSV corpus; drop -out")
+	}
+	cfg := synth.Default2017(seed)
+	if flagship {
+		cfg = synth.FlagshipSeries(seed)
+	}
+	spec, err := synth.YearSpec(cfg, deltaSeries, deltaYear)
+	if err != nil {
+		return err
+	}
+	yd, base, err := synth.GenerateYearDelta(cfg, spec)
+	if err != nil {
+		return err
+	}
+	if err := delta.WriteFile(snapOut, yd, base.Data); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote delta %s: %s (%d papers, %d participants)\n",
+		snapOut, yd.Conf.ID, len(yd.Papers), len(yd.Persons))
 	return nil
 }

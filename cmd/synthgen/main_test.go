@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/synth"
 )
 
 // TestRunGeneratesLoadableCorpus: the CSV artifact synthgen writes must
@@ -15,7 +16,7 @@ import (
 func TestRunGeneratesLoadableCorpus(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run(&out, 7, dir, "", false); err != nil {
+	if err := run(&out, 7, dir, "", false, 0, "SC"); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "wrote "+dir) {
@@ -39,7 +40,7 @@ func TestRunGeneratesLoadableCorpus(t *testing.T) {
 func TestRunWritesOpenableSnapshot(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "corpus.whpcsnap")
 	var out bytes.Buffer
-	if err := run(&out, 7, "", path, false); err != nil {
+	if err := run(&out, 7, "", path, false, 0, "SC"); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "wrote snapshot "+path) {
@@ -68,7 +69,7 @@ func TestRunWritesOpenableSnapshot(t *testing.T) {
 // TestRunFlagship covers the -flagship corpus selection.
 func TestRunFlagship(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(&bytes.Buffer{}, 7, dir, "", true); err != nil {
+	if err := run(&bytes.Buffer{}, 7, dir, "", true, 0, "SC"); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	loaded, err := repro.Load(dir)
@@ -78,5 +79,53 @@ func TestRunFlagship(t *testing.T) {
 	// The flagship series spans SC/ISC 2016-2020: exactly 10 editions.
 	if n := len(loaded.Dataset().Conferences); n != 10 {
 		t.Errorf("flagship corpus has %d conferences, want 10", n)
+	}
+}
+
+// TestRunDeltaYear: -delta-year must write a delta snapshot that applies
+// onto the matching base study and reproduces the resynthesized grown
+// corpus's headline statistic.
+func TestRunDeltaYear(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc21.delta.whpcsnap")
+	var out bytes.Buffer
+	if err := run(&out, 7, "", path, true, 2021, "SC"); err != nil {
+		t.Fatalf("run(-delta-year): %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote delta "+path) {
+		t.Errorf("output %q does not report the delta file", out.String())
+	}
+	base, err := repro.NewFlagshipStudy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.ApplyDeltaFile(path); err != nil {
+		t.Fatalf("ApplyDeltaFile: %v", err)
+	}
+	cfg := synth.FlagshipSeries(7)
+	spec, err := synth.YearSpec(cfg, "SC", 2021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Confs = append(append([]synth.ConfSpec(nil), cfg.Confs...), spec)
+	grown, err := repro.NewStudyFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := base.FAR().Overall, grown.FAR().Overall; got != want {
+		t.Errorf("delta-applied FAR %v differs from resynthesized FAR %v", got, want)
+	}
+	if n := len(base.Dataset().Conferences); n != 11 {
+		t.Errorf("delta-applied corpus has %d conferences, want 11", n)
+	}
+}
+
+// TestRunDeltaYearRejectsBadFlags: -delta-year without -snap, or with
+// -out, is a usage error.
+func TestRunDeltaYearRejectsBadFlags(t *testing.T) {
+	if err := run(&bytes.Buffer{}, 7, "", "", true, 2021, "SC"); err == nil {
+		t.Error("-delta-year without -snap succeeded")
+	}
+	if err := run(&bytes.Buffer{}, 7, t.TempDir(), "x.whpcsnap", true, 2021, "SC"); err == nil {
+		t.Error("-delta-year with -out succeeded")
 	}
 }

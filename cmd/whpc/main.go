@@ -6,6 +6,7 @@
 //
 //	whpc [-seed N] [-load DIR] [-save DIR] [-flagship] [-fault-profile NAME]
 //	     [-snapshot-in FILE] [-snapshot-out FILE]
+//	     [-delta-in FILES] [-delta-out FILE -delta-year N [-delta-series S]]
 //	     [-list] [-exhibit ID] [-query SPEC]
 //
 // With -flagship the §3.4 SC/ISC 2016-2020 corpus is used instead of the
@@ -24,6 +25,15 @@
 // (corpus plus pre-built query frames) after construction; -snapshot-in
 // loads such a snapshot instead of generating, which is an order of
 // magnitude faster and cannot be combined with -load or -fault-profile.
+//
+// -delta-in applies year-delta snapshots (synthgen -delta-year, see the
+// README's Longitudinal deltas section) to the study before analysis:
+// comma-separated paths, applied in order, each patching the corpus and
+// its query frames in place instead of rebuilding them. -delta-out
+// generates the next -delta-year edition of -delta-series (default SC)
+// against the generated corpus and writes it as a delta snapshot; it
+// requires a generated corpus, since the delta is fingerprinted against
+// the exact base it extends.
 package main
 
 import (
@@ -35,102 +45,150 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/delta"
 	"repro/internal/faulty"
 	"repro/internal/query"
 	"repro/internal/report"
 	"repro/internal/synth"
 )
 
+// options carries the parsed command line.
+type options struct {
+	seed         uint64
+	load         string
+	save         string
+	csvOut       string
+	flagship     bool
+	extended     bool
+	faultProfile string
+	snapIn       string
+	snapOut      string
+	deltaIn      string
+	deltaOut     string
+	deltaYear    int
+	deltaSeries  string
+	list         bool
+	exhibit      string
+	querySpec    string
+}
+
 func main() {
-	seed := flag.Uint64("seed", 2021, "generator seed (deterministic corpus per seed)")
-	load := flag.String("load", "", "load a saved corpus from this directory instead of generating")
-	save := flag.String("save", "", "save the corpus CSVs into this directory")
-	csvOut := flag.String("csv", "", "also export the exhibits as CSV files into this directory")
-	flagship := flag.Bool("flagship", false, "use the SC/ISC 2016-2020 flagship corpus (§3.4)")
-	extended := flag.Bool("extended", false, "use the extended all-systems-subfields corpus (future work)")
-	faultProfile := flag.String("fault-profile", "",
+	var o options
+	flag.Uint64Var(&o.seed, "seed", 2021, "generator seed (deterministic corpus per seed)")
+	flag.StringVar(&o.load, "load", "", "load a saved corpus from this directory instead of generating")
+	flag.StringVar(&o.save, "save", "", "save the corpus CSVs into this directory")
+	flag.StringVar(&o.csvOut, "csv", "", "also export the exhibits as CSV files into this directory")
+	flag.BoolVar(&o.flagship, "flagship", false, "use the SC/ISC 2016-2020 flagship corpus (§3.4)")
+	flag.BoolVar(&o.extended, "extended", false, "use the extended all-systems-subfields corpus (future work)")
+	flag.StringVar(&o.faultProfile, "fault-profile", "",
 		"harvest the bibliometric services under a fault profile ("+strings.Join(faulty.ProfileNames(), ", ")+")")
-	list := flag.Bool("list", false, "list the exhibit IDs and titles instead of reporting")
-	exhibit := flag.String("exhibit", "", "render only the exhibit with this ID")
-	querySpec := flag.String("query", "",
+	flag.BoolVar(&o.list, "list", false, "list the exhibit IDs and titles instead of reporting")
+	flag.StringVar(&o.exhibit, "exhibit", "", "render only the exhibit with this ID")
+	flag.StringVar(&o.querySpec, "query", "",
 		"run an ad-hoc columnar query instead of reporting (inline JSON, or @file to read the spec from a file)")
-	snapIn := flag.String("snapshot-in", "", "load the study from a binary snapshot instead of generating")
-	snapOut := flag.String("snapshot-out", "", "save the study as a binary snapshot to this file")
+	flag.StringVar(&o.snapIn, "snapshot-in", "", "load the study from a binary snapshot instead of generating")
+	flag.StringVar(&o.snapOut, "snapshot-out", "", "save the study as a binary snapshot to this file")
+	flag.StringVar(&o.deltaIn, "delta-in", "", "apply year-delta snapshots before analysis (comma-separated files, in order)")
+	flag.StringVar(&o.deltaOut, "delta-out", "", "write the -delta-year edition as a year-delta snapshot to this file")
+	flag.IntVar(&o.deltaYear, "delta-year", 0, "year of the edition -delta-out generates")
+	flag.StringVar(&o.deltaSeries, "delta-series", "SC", "conference series the -delta-out edition extends")
 	flag.Parse()
 
-	if err := run(*seed, *load, *save, *csvOut, *flagship, *extended, *faultProfile, *snapIn, *snapOut, *list, *exhibit, *querySpec); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "whpc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultProfile, snapIn, snapOut string, list bool, exhibit, querySpec string) error {
+func run(o options) error {
 	var study *repro.Study
 	var err error
+	cfg := synth.Default2017(o.seed)
+	if o.flagship {
+		cfg = synth.FlagshipSeries(o.seed)
+	} else if o.extended {
+		cfg = synth.ExtendedSystems(o.seed)
+	}
+	generated := false
 	switch {
-	case snapIn != "":
-		if load != "" {
+	case o.snapIn != "":
+		if o.load != "" {
 			return fmt.Errorf("-snapshot-in and -load are mutually exclusive")
 		}
-		if faultProfile != "" {
+		if o.faultProfile != "" {
 			return fmt.Errorf("-fault-profile requires a generated corpus, not -snapshot-in")
 		}
-		study, err = repro.OpenSnapshotFile(snapIn)
-	case load != "":
-		if faultProfile != "" {
+		study, err = repro.OpenSnapshotFile(o.snapIn)
+	case o.load != "":
+		if o.faultProfile != "" {
 			return fmt.Errorf("-fault-profile requires a generated corpus, not -load")
 		}
-		study, err = repro.Load(load)
-	case faultProfile != "":
-		cfg := synth.Default2017(seed)
-		if flagship {
-			cfg = synth.FlagshipSeries(seed)
-		} else if extended {
-			cfg = synth.ExtendedSystems(seed)
-		}
-		study, err = repro.NewHarvestedStudyFromConfig(cfg, faultProfile)
-	case flagship:
-		study, err = repro.NewFlagshipStudy(seed)
-	case extended:
-		study, err = repro.NewExtendedStudy(seed)
+		study, err = repro.Load(o.load)
+	case o.faultProfile != "":
+		study, err = repro.NewHarvestedStudyFromConfig(cfg, o.faultProfile)
 	default:
-		study, err = repro.NewStudy(seed)
+		generated = true
+		study, err = repro.NewStudyFromConfig(cfg)
 	}
 	if err != nil {
 		return err
 	}
-	if save != "" {
-		if err := study.Save(save); err != nil {
+	if o.deltaOut != "" {
+		if o.deltaYear == 0 {
+			return fmt.Errorf("-delta-out requires -delta-year (the edition to generate)")
+		}
+		if !generated {
+			return fmt.Errorf("-delta-out fingerprints the delta against a generated corpus; it cannot be combined with -load, -snapshot-in, or -fault-profile")
+		}
+		if o.deltaIn != "" {
+			return fmt.Errorf("-delta-out generates against the pristine corpus; it cannot be combined with -delta-in")
+		}
+		if err := writeDelta(cfg, o.deltaOut, o.deltaSeries, o.deltaYear); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "corpus saved to %s\n", save)
+		fmt.Fprintf(os.Stderr, "delta saved to %s\n", o.deltaOut)
 	}
-	if csvOut != "" {
-		if err := report.ExportCSVs(csvOut, study.Dataset(), study.SCID()); err != nil {
-			return err
+	if o.deltaIn != "" {
+		for _, path := range strings.Split(o.deltaIn, ",") {
+			if err := study.ApplyDeltaFile(strings.TrimSpace(path)); err != nil {
+				return err
+			}
 		}
-		fmt.Fprintf(os.Stderr, "exhibit CSVs exported to %s\n", csvOut)
+		fmt.Fprintf(os.Stderr, "applied %d delta(s); corpus now has %d conferences\n",
+			study.Revision(), len(study.Dataset().Conferences))
 	}
-	if snapOut != "" {
-		if err := study.SaveSnapshot(snapOut); err != nil {
+	if o.save != "" {
+		if err := study.Save(o.save); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "snapshot saved to %s\n", snapOut)
+		fmt.Fprintf(os.Stderr, "corpus saved to %s\n", o.save)
+	}
+	if o.csvOut != "" {
+		if err := report.ExportCSVs(o.csvOut, study.Dataset(), study.SCID()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "exhibit CSVs exported to %s\n", o.csvOut)
+	}
+	if o.snapOut != "" {
+		if err := study.SaveSnapshot(o.snapOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot saved to %s\n", o.snapOut)
 	}
 	w := bufio.NewWriter(os.Stdout)
 	switch {
-	case querySpec != "":
-		if err := runQuery(w, study, querySpec); err != nil {
+	case o.querySpec != "":
+		if err := runQuery(w, study, o.querySpec); err != nil {
 			return err
 		}
-	case list:
+	case o.list:
 		for _, ex := range study.Exhibits() {
 			fmt.Fprintf(w, "%-28s %s\n", ex.ID, ex.Title)
 		}
-	case exhibit != "":
-		ex, ok := study.Exhibit(exhibit)
+	case o.exhibit != "":
+		ex, ok := study.Exhibit(o.exhibit)
 		if !ok {
-			return fmt.Errorf("unknown exhibit %q (use -list to enumerate)", exhibit)
+			return fmt.Errorf("unknown exhibit %q (use -list to enumerate)", o.exhibit)
 		}
 		if err := ex.Render(w); err != nil {
 			return err
@@ -141,6 +199,20 @@ func run(seed uint64, load, save, csvOut string, flagship, extended bool, faultP
 		}
 	}
 	return w.Flush()
+}
+
+// writeDelta generates the next edition of series against cfg's corpus and
+// writes it as a year-delta snapshot.
+func writeDelta(cfg synth.Config, path, series string, year int) error {
+	spec, err := synth.YearSpec(cfg, series, year)
+	if err != nil {
+		return err
+	}
+	yd, base, err := synth.GenerateYearDelta(cfg, spec)
+	if err != nil {
+		return err
+	}
+	return delta.WriteFile(path, yd, base.Data)
 }
 
 // runQuery parses the -query spec (inline JSON, or @file) and writes the

@@ -1,0 +1,81 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/dataset"
+	"repro/internal/delta"
+	"repro/internal/query"
+	"repro/internal/snap"
+)
+
+// ApplyDelta appends one conference-year — a delta packed by
+// internal/delta (the synthgen -delta-year path) — to the study in place:
+// the mini-corpus merges into the dataset and, when the columnar FrameSet
+// has already been built, every frame is patched incrementally (dict
+// columns extended, rows appended, bitmaps grown) instead of rebuilt, so
+// the apply costs O(new rows). The resulting study is byte-identical — at
+// report, exhibit-query, and trend level — to one synthesized from scratch
+// with the extra year in its calibration (proven by the delta identity
+// suite).
+//
+// The apply is atomic: on any error the study is unchanged (the delta is
+// applied to clones and swapped in only on success). ApplyDelta must not
+// run concurrently with queries or report rendering on the same study; the
+// serve layer applies deltas at materialization time, before a study is
+// published to request handlers.
+func (s *Study) ApplyDelta(info snap.DeltaInfo, mini *dataset.Dataset) error {
+	return s.ApplyDeltaInjected(info, mini, chaos.None)
+}
+
+// ApplyDeltaInjected is ApplyDelta with a chaos injector consulted at the
+// delta.apply point. An injected fault fails the apply before the clones
+// are touched, so the study stays exactly as it was — the property the
+// chaos suite asserts.
+func (s *Study) ApplyDeltaInjected(info snap.DeltaInfo, mini *dataset.Dataset, inj chaos.Injector) error {
+	if s.harvest != nil {
+		return fmt.Errorf("repro: cannot apply a delta to a harvested study (its records reflect degraded harvest coverage, not the pristine base the delta extends)")
+	}
+	d := s.data.Clone()
+	var fs *query.FrameSet
+	if s.frames != nil {
+		fs = s.frames.Clone()
+	}
+	if err := delta.ApplyInjected(d, fs, info, mini, inj); err != nil {
+		return err
+	}
+	s.data = d
+	if fs != nil {
+		s.frames = fs
+	}
+	s.scID = findSC(d)
+	s.revision++
+	s.exhibitsMu.Lock()
+	s.exhibitsByID = nil
+	s.exhibitsMu.Unlock()
+	return nil
+}
+
+// ApplyDeltaFile opens the delta snapshot at path and applies it.
+func (s *Study) ApplyDeltaFile(path string) error {
+	return s.ApplyDeltaFileInjected(path, chaos.None)
+}
+
+// ApplyDeltaFileInjected is ApplyDeltaFile with a chaos injector threaded
+// through both the snapshot read/decode layers (snap.read, snap.decode)
+// and the apply itself (delta.apply). A torn or corrupt delta file fails
+// validation inside snap before ApplyDelta runs, so it can never leave the
+// base study half-patched.
+func (s *Study) ApplyDeltaFileInjected(path string, inj chaos.Injector) error {
+	info, mini, err := snap.OpenDeltaInjected(path, inj)
+	if err != nil {
+		return err
+	}
+	return s.ApplyDeltaInjected(info, mini, inj)
+}
+
+// Revision counts the deltas applied to the study since construction. The
+// serve layer keys its memoized exhibit cache on it, so applying a delta
+// invalidates exactly the cached renders whose inputs changed.
+func (s *Study) Revision() uint64 { return s.revision }

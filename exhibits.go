@@ -89,6 +89,8 @@ func (s *Study) Exhibits() []Exhibit {
 			func(w io.Writer) error { return report.DistributionGaps(w, d) }},
 		{"ext-subfields", "Extension — FAR by systems subfield",
 			func(w io.Writer) error { return report.Subfields(w, d) }},
+		{"ext-cohort-retention", "Extension — cohort retention across editions",
+			func(w io.Writer) error { return report.CohortRetentionSection(w, d) }},
 	}
 	if s.harvest != nil {
 		harvest, baseline := s.harvest, s.baseline
@@ -104,17 +106,21 @@ func (s *Study) Exhibits() []Exhibit {
 
 // Exhibit returns the exhibit with the given stable ID, or ok=false when
 // the study has no exhibit by that name (harvest exhibits exist only on
-// harvested studies). The ID index is built once per study — the serve
-// layer resolves an exhibit per request, and a linear re-enumeration of
-// Exhibits() (which rebuilds every closure) was measurable on that path.
+// harvested studies). The ID index is built once per study revision — the
+// serve layer resolves an exhibit per request, and a linear re-enumeration
+// of Exhibits() (which rebuilds every closure) was measurable on that path.
+// ApplyDelta invalidates the index, since its closures capture the
+// pre-delta dataset.
 func (s *Study) Exhibit(id string) (Exhibit, bool) {
-	s.exhibitsOnce.Do(func() {
+	s.exhibitsMu.Lock()
+	defer s.exhibitsMu.Unlock()
+	if s.exhibitsByID == nil {
 		exhibits := s.Exhibits()
 		s.exhibitsByID = make(map[string]Exhibit, len(exhibits))
 		for _, e := range exhibits {
 			s.exhibitsByID[e.ID] = e
 		}
-	})
+	}
 	e, ok := s.exhibitsByID[id]
 	return e, ok
 }

@@ -57,6 +57,11 @@ const (
 	// the harvest worker chain (internal/ingest), upstream of the
 	// per-service faulty.Injector.
 	PointIngestLookup = "ingest.lookup"
+	// PointDeltaApply fires once per delta application, after the delta
+	// mini-corpus is decoded but before the study's dataset and frames
+	// are touched (internal/delta apply path) — so an injected fault
+	// leaves the base study exactly as it was.
+	PointDeltaApply = "delta.apply"
 )
 
 // Points lists every injection point in a fixed order (for profiles,
@@ -66,6 +71,7 @@ func Points() []string {
 		PointRequest, PointRender, PointMaterialize,
 		PointSnapRead, PointSnapDecode, PointClock,
 		PointScatter, PointMerge, PointIngestLookup,
+		PointDeltaApply,
 	}
 }
 

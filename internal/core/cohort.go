@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/gender"
+	"repro/internal/stats"
+)
+
+// CohortPoint is one conference edition's participant cohort and its fate
+// at the next edition of the same series: how many of the people holding
+// any role (author, PC, keynote, panelist, session chair) came back. The
+// paper's longitudinal question — does the community retain the women it
+// attracts? — needs exactly this per-edition ledger.
+type CohortPoint struct {
+	Series string
+	Year   int
+	Conf   dataset.ConfID
+	// Holders is the unique participant count across every role.
+	Holders int
+	// Women counts perceived-female participants among the holders.
+	Women int
+	// Observed is the cohort size whose return could be observed: equal to
+	// Holders when the series has a next edition in the corpus, 0 for the
+	// last edition (right-censored).
+	Observed int
+	// Returned counts holders who participate (any role) in the next
+	// edition; WomenReturned restricts to perceived-female holders.
+	Returned      int
+	WomenReturned int
+}
+
+// Rate is the retention rate Returned/Observed — NaN for a right-censored
+// edition, mirroring stats.Proportion's "no data" convention.
+func (p CohortPoint) Rate() float64 {
+	return stats.Proportion{K: p.Returned, N: p.Observed}.Ratio()
+}
+
+// CohortRetention computes the year-over-year participant retention of
+// every conference edition, sorted by series then year. Editions with no
+// participants are skipped (they have no cohort to follow). This is the
+// reference implementation the "retention" exhibit query is verified
+// against byte-for-byte.
+func CohortRetention(d *dataset.Dataset) []CohortPoint {
+	var out []CohortPoint
+	for _, c := range d.Conferences {
+		ids := cohortParticipants(d, c)
+		if len(ids) == 0 {
+			continue
+		}
+		next := nextEditionOf(d, c)
+		var nextSet map[dataset.PersonID]bool
+		if next != nil {
+			nextSet = make(map[dataset.PersonID]bool)
+			for _, id := range cohortParticipants(d, next) {
+				nextSet[id] = true
+			}
+		}
+		p := CohortPoint{Series: c.Name, Year: c.Year, Conf: c.ID, Holders: len(ids)}
+		if next != nil {
+			p.Observed = len(ids)
+		}
+		for _, id := range ids {
+			person, ok := d.Person(id)
+			female := ok && person.Gender == gender.Female
+			if female {
+				p.Women++
+			}
+			if nextSet[id] {
+				p.Returned++
+				if female {
+					p.WomenReturned++
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Series != out[j].Series {
+			return out[i].Series < out[j].Series
+		}
+		return out[i].Year < out[j].Year
+	})
+	return out
+}
+
+// cohortParticipants is the unique participant set of one edition: every
+// paper author plus every role-roster holder, sorted by ID.
+func cohortParticipants(d *dataset.Dataset, c *dataset.Conference) []dataset.PersonID {
+	set := make(map[dataset.PersonID]bool)
+	for _, p := range d.PapersOf(c.ID) {
+		for _, id := range p.Authors {
+			set[id] = true
+		}
+	}
+	for _, r := range dataset.Roles() {
+		for _, id := range c.RoleHolders(r) {
+			set[id] = true
+		}
+	}
+	out := make([]dataset.PersonID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// nextEditionOf finds the next edition of c's series: same series name,
+// the immediately following year.
+func nextEditionOf(d *dataset.Dataset, c *dataset.Conference) *dataset.Conference {
+	for _, o := range d.Conferences {
+		if o != c && o.Name == c.Name && o.Year == c.Year+1 {
+			return o
+		}
+	}
+	return nil
+}

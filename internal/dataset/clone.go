@@ -1,0 +1,31 @@
+package dataset
+
+import "maps"
+
+// Clone returns a copy of the dataset with fresh containers and indexes
+// but shared entity pointers: appending conferences, papers or persons to
+// the clone leaves the receiver untouched, while the immutable entity
+// records are not duplicated. Callers must treat the shared entities as
+// read-only (the delta-apply path only ever adds entities, never mutates
+// them).
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		Conferences:  append([]*Conference(nil), d.Conferences...),
+		Papers:       append([]*Paper(nil), d.Papers...),
+		Persons:      maps.Clone(d.Persons),
+		papersByConf: make(map[ConfID][]*Paper, len(d.papersByConf)),
+		confByID:     maps.Clone(d.confByID),
+	}
+	if out.Persons == nil {
+		out.Persons = make(map[PersonID]*Person)
+	}
+	if out.confByID == nil {
+		out.confByID = make(map[ConfID]*Conference)
+	}
+	for _, c := range d.Conferences {
+		if ps := d.papersByConf[c.ID]; ps != nil {
+			out.papersByConf[c.ID] = append([]*Paper(nil), ps...)
+		}
+	}
+	return out
+}

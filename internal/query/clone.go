@@ -1,0 +1,57 @@
+package query
+
+import "maps"
+
+// Clone returns an independent copy of the dictionary with identical code
+// assignments. The index map is cloned wholesale rather than re-interned
+// entry by entry — on the delta-apply path the person dictionaries hold
+// tens of thousands of entries and the re-insertion cost was measurable.
+func (d *Dict) Clone() *Dict {
+	return &Dict{
+		vals: append([]string(nil), d.vals...),
+		idx:  maps.Clone(d.idx),
+	}
+}
+
+// Clone returns a deep copy of the column: vectors, bitmaps and the
+// dictionary are all copied, so in-place maintenance on the clone leaves
+// the receiver untouched. Nil slices (including the nil all-valid bitmap)
+// stay nil. The copies carry one conference-year's worth of headroom
+// (an eighth of the row count), so the delta-apply path appends without
+// immediately recopying every full column vector.
+func (c *Column) Clone() *Column {
+	out := &Column{Name: c.Name, Type: c.Type}
+	out.Ints = cloneGrown(c.Ints)
+	out.Floats = cloneGrown(c.Floats)
+	out.Bools = cloneGrown(c.Bools)
+	out.Codes = cloneGrown(c.Codes)
+	out.Valid = cloneGrown(c.Valid)
+	if c.Dict != nil {
+		out.Dict = c.Dict.Clone()
+	}
+	return out
+}
+
+func cloneGrown[S ~[]E, E any](s S) S {
+	if s == nil {
+		return nil
+	}
+	out := make(S, len(s), len(s)+len(s)/8+64)
+	copy(out, s)
+	return out
+}
+
+// Clone returns a deep copy of the frame set. AppendConference on the
+// clone (the delta-apply path, and the apply benchmark's per-iteration
+// reset) never observes or disturbs the receiver.
+func (fs *FrameSet) Clone() *FrameSet {
+	frames := make([]*Frame, len(fs.frames))
+	for i, f := range fs.frames {
+		cols := make([]*Column, len(f.cols))
+		for j, c := range f.cols {
+			cols[j] = c.Clone()
+		}
+		frames[i] = newFrame(f.Name, f.NumRows, cols)
+	}
+	return &FrameSet{frames: frames}
+}

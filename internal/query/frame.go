@@ -69,11 +69,14 @@ const (
 	FramePeople  = "people"  // one row per unique researcher
 	FrameMembers = "members" // one row per (researcher, author/PC population)
 	FramePapers  = "papers"  // one row per paper
+	FrameCohorts = "cohorts" // one row per (conference, unique participant)
 )
 
-// FrameSet is the columnar flattening of one corpus: the four frames every
+// FrameSet is the columnar flattening of one corpus: the five frames every
 // query runs over. Construction is deterministic — the same dataset always
-// yields byte-identical frames.
+// yields byte-identical frames — and every frame's row order is
+// append-only in the conference dimension, so AppendConference can grow a
+// built set in place to exactly the frames a full rebuild would produce.
 type FrameSet struct {
 	frames []*Frame
 }
@@ -120,6 +123,7 @@ func NewFrameSet(d *dataset.Dataset) *FrameSet {
 		buildPeople(d),
 		buildMembers(d),
 		buildPapers(d),
+		buildCohorts(d),
 	}}
 }
 
@@ -142,7 +146,47 @@ func roleDict() *Dict {
 	return NewDict(seed...)
 }
 
-// personCols bundles the demographic columns shared by several frames.
+// personSinks bundles the demographic sinks shared by several frames. It
+// is expressed over colSink so the same emission code drives both a fresh
+// build (colBuilder) and in-place appends (colAppender).
+type personSinks struct {
+	gender, known, female, country, region, sector colSink
+}
+
+// add appends one person's demographics; a nil person (dangling ID) writes
+// gender "unknown" and null demographics, matching the analyses' exclusion
+// convention.
+func (ps personSinks) add(p *dataset.Person) {
+	if p == nil {
+		ps.gender.addStr("unknown")
+		ps.known.addBool(false)
+		ps.female.addBool(false)
+		ps.country.addNull()
+		ps.region.addNull()
+		ps.sector.addNull()
+		return
+	}
+	ps.gender.addStr(p.Gender.String())
+	ps.known.addBool(p.Gender.Known())
+	ps.female.addBool(p.Gender == gender.Female)
+	if p.CountryCode == "" {
+		ps.country.addNull()
+	} else {
+		ps.country.addStr(p.CountryCode)
+	}
+	if region := countries.SubregionOf(p.CountryCode); region == "" {
+		ps.region.addNull()
+	} else {
+		ps.region.addStr(region)
+	}
+	if p.Sector == affil.SectorUnknown {
+		ps.sector.addNull()
+	} else {
+		ps.sector.addStr(p.Sector.String())
+	}
+}
+
+// personCols is the builder-side realization of personSinks.
 type personCols struct {
 	gender, country, region, sector *colBuilder
 	known, female                   *colBuilder
@@ -159,38 +203,11 @@ func newPersonCols() personCols {
 	}
 }
 
-// add appends one person's demographics; a nil person (dangling ID) writes
-// gender "unknown" and null demographics, matching the analyses' exclusion
-// convention.
-func (pc *personCols) add(p *dataset.Person) {
-	if p == nil {
-		pc.gender.addStr("unknown")
-		pc.known.addBool(false)
-		pc.female.addBool(false)
-		pc.country.addNull()
-		pc.region.addNull()
-		pc.sector.addNull()
-		return
-	}
-	pc.gender.addStr(p.Gender.String())
-	pc.known.addBool(p.Gender.Known())
-	pc.female.addBool(p.Gender == gender.Female)
-	if p.CountryCode == "" {
-		pc.country.addNull()
-	} else {
-		pc.country.addStr(p.CountryCode)
-	}
-	if region := countries.SubregionOf(p.CountryCode); region == "" {
-		pc.region.addNull()
-	} else {
-		pc.region.addStr(region)
-	}
-	if p.Sector == affil.SectorUnknown {
-		pc.sector.addNull()
-	} else {
-		pc.sector.addStr(p.Sector.String())
-	}
+func (pc *personCols) sinks() personSinks {
+	return personSinks{pc.gender, pc.known, pc.female, pc.country, pc.region, pc.sector}
 }
+
+func (pc *personCols) add(p *dataset.Person) { pc.sinks().add(p) }
 
 func (pc *personCols) finish(n int) []*Column {
 	return []*Column{
@@ -199,9 +216,66 @@ func (pc *personCols) finish(n int) []*Column {
 	}
 }
 
-// buildSlots emits one row per role slot, with repeats, role-major then
-// conference-minor — so grouping author slots by conference surfaces
-// groups in Table 1 order without an explicit sort.
+// slotsSinks names the slots frame's columns in schema order for the
+// shared per-conference emission helper.
+type slotsSinks struct {
+	conf, name, year, role, person                             colSink
+	pc                                                         personSinks
+	doubleBlind, attendance, lead, last, paper, citations, hpc colSink
+}
+
+// emitConfSlots emits every role slot of one conference — roles in the
+// paper's presentation order, authors via the conference's papers with
+// lead/last flags, other roles via rosters — and returns the row count.
+// Shared verbatim between buildSlots and the append path so an appended
+// conference produces exactly the rows a rebuild would.
+func emitConfSlots(d *dataset.Dataset, c *dataset.Conference, s slotsSinks) int {
+	n := 0
+	addRow := func(r dataset.Role, id dataset.PersonID, pap *dataset.Paper, isLead, isLast bool) {
+		s.conf.addStr(string(c.ID))
+		s.name.addStr(c.Name)
+		s.year.addInt(int64(c.Year))
+		s.role.addStr(r.String())
+		s.person.addStr(string(id))
+		p, _ := d.Person(id)
+		s.pc.add(p)
+		s.doubleBlind.addBool(c.DoubleBlind)
+		s.attendance.addFloat(c.WomenAttendance)
+		s.lead.addBool(isLead)
+		s.last.addBool(isLast)
+		if pap == nil {
+			s.paper.addNull()
+			s.citations.addNull()
+			s.hpc.addNull()
+		} else {
+			s.paper.addStr(string(pap.ID))
+			s.citations.addInt(int64(pap.Citations36))
+			s.hpc.addBool(pap.HPCTopic)
+		}
+		n++
+	}
+	for _, r := range dataset.Roles() {
+		if r == dataset.RoleAuthor {
+			for _, pap := range d.PapersOf(c.ID) {
+				for ai, id := range pap.Authors {
+					addRow(r, id, pap, ai == 0, ai == len(pap.Authors)-1)
+				}
+			}
+			continue
+		}
+		for _, id := range c.RoleHolders(r) {
+			addRow(r, id, nil, false, false)
+		}
+	}
+	return n
+}
+
+// buildSlots emits one row per role slot, with repeats, conference-major
+// then role-minor — so appending a conference edition is a pure tail
+// append (the delta path's O(new rows) guarantee). Grouping still surfaces
+// Table 1 / Fig 1 order without an explicit sort because the conference
+// and role dictionaries are pre-seeded in presentation order and
+// "appearance" sorting compares dictionary codes, not row positions.
 func buildSlots(d *dataset.Dataset) *Frame {
 	confIDs, confNames := confDicts(d)
 	conf := newStrCol("conf", confIDs)
@@ -218,44 +292,15 @@ func buildSlots(d *dataset.Dataset) *Frame {
 	citations := newIntCol("citations36")
 	hpc := newBoolCol("hpc_topic")
 
-	n := 0
-	addRow := func(c *dataset.Conference, r dataset.Role, id dataset.PersonID, pap *dataset.Paper, isLead, isLast bool) {
-		conf.addStr(string(c.ID))
-		name.addStr(c.Name)
-		year.addInt(int64(c.Year))
-		role.addStr(r.String())
-		person.addStr(string(id))
-		p, _ := d.Person(id)
-		pc.add(p)
-		doubleBlind.addBool(c.DoubleBlind)
-		attendance.addFloat(c.WomenAttendance)
-		lead.addBool(isLead)
-		last.addBool(isLast)
-		if pap == nil {
-			paper.addNull()
-			citations.addNull()
-			hpc.addNull()
-		} else {
-			paper.addStr(string(pap.ID))
-			citations.addInt(int64(pap.Citations36))
-			hpc.addBool(pap.HPCTopic)
-		}
-		n++
+	s := slotsSinks{
+		conf: conf, name: name, year: year, role: role, person: person,
+		pc:          pc.sinks(),
+		doubleBlind: doubleBlind, attendance: attendance, lead: lead, last: last,
+		paper: paper, citations: citations, hpc: hpc,
 	}
-	for _, r := range dataset.Roles() {
-		for _, c := range d.Conferences {
-			if r == dataset.RoleAuthor {
-				for _, pap := range d.PapersOf(c.ID) {
-					for ai, id := range pap.Authors {
-						addRow(c, r, id, pap, ai == 0, ai == len(pap.Authors)-1)
-					}
-				}
-				continue
-			}
-			for _, id := range c.RoleHolders(r) {
-				addRow(c, r, id, nil, false, false)
-			}
-		}
+	n := 0
+	for _, c := range d.Conferences {
+		n += emitConfSlots(d, c, s)
 	}
 	cols := []*Column{
 		conf.finish(n), name.finish(n), year.finish(n), role.finish(n), person.finish(n),
@@ -272,17 +317,9 @@ func buildSlots(d *dataset.Dataset) *Frame {
 // corpus (authors via papers, other roles via rosters).
 func rolePresence(d *dataset.Dataset) map[dataset.PersonID]map[dataset.Role]bool {
 	held := make(map[dataset.PersonID]map[dataset.Role]bool, len(d.Persons))
-	mark := func(id dataset.PersonID, r dataset.Role) {
-		m := held[id]
-		if m == nil {
-			m = make(map[dataset.Role]bool, 2)
-			held[id] = m
-		}
-		m[r] = true
-	}
 	for _, p := range d.Papers {
 		for _, id := range p.Authors {
-			mark(id, dataset.RoleAuthor)
+			markRole(held, id, dataset.RoleAuthor)
 		}
 	}
 	for _, c := range d.Conferences {
@@ -291,15 +328,62 @@ func rolePresence(d *dataset.Dataset) map[dataset.PersonID]map[dataset.Role]bool
 				continue
 			}
 			for _, id := range c.RoleHolders(r) {
-				mark(id, r)
+				markRole(held, id, r)
 			}
 		}
 	}
 	return held
 }
 
+func markRole(held map[dataset.PersonID]map[dataset.Role]bool, id dataset.PersonID, r dataset.Role) {
+	m := held[id]
+	if m == nil {
+		m = make(map[dataset.Role]bool, 2)
+		held[id] = m
+	}
+	m[r] = true
+}
+
+// peopleSinks names the people frame's columns in schema order for the
+// shared per-person emission helper.
+type peopleSinks struct {
+	person                         colSink
+	pc                             personSinks
+	roleFlags                      []colSink
+	papers, gsPubs, hindex, s2Pubs colSink
+}
+
+// emitPersonRow emits one researcher row given the roles they hold and
+// their authored-paper count. Shared between buildPeople and the append
+// path (which calls it only for persons first appearing in the appended
+// conference).
+func emitPersonRow(d *dataset.Dataset, id dataset.PersonID, roles map[dataset.Role]bool, papers int64, s peopleSinks) {
+	s.person.addStr(string(id))
+	p, _ := d.Person(id)
+	s.pc.add(p)
+	for ri, r := range dataset.Roles() {
+		s.roleFlags[ri].addBool(roles[r])
+	}
+	s.papers.addInt(papers)
+	if p != nil && p.HasGSProfile {
+		s.gsPubs.addFloat(float64(p.GS.Publications))
+		s.hindex.addFloat(float64(p.GS.HIndex))
+	} else {
+		s.gsPubs.addNull()
+		s.hindex.addNull()
+	}
+	if p != nil && p.HasS2 {
+		s.s2Pubs.addFloat(float64(p.S2Pubs))
+	} else {
+		s.s2Pubs.addNull()
+	}
+}
+
 // buildPeople emits one row per unique researcher holding any role, sorted
-// by person ID.
+// by person ID. Because the synthesizer mints person IDs in increasing
+// order, researchers first appearing in an appended conference sort after
+// every existing row, keeping this order append-only too (AppendConference
+// verifies that precondition rather than assuming it).
 func buildPeople(d *dataset.Dataset) *Frame {
 	held := rolePresence(d)
 	ids := make([]string, 0, len(held))
@@ -326,28 +410,18 @@ func buildPeople(d *dataset.Dataset) *Frame {
 		}
 	}
 
+	flagSinks := make([]colSink, len(roleFlags))
+	for i, rf := range roleFlags {
+		flagSinks[i] = rf
+	}
+	s := peopleSinks{
+		person: person, pc: pc.sinks(), roleFlags: flagSinks,
+		papers: papers, gsPubs: gsPubs, hindex: hindex, s2Pubs: s2Pubs,
+	}
 	n := 0
 	for _, sid := range ids {
 		id := dataset.PersonID(sid)
-		person.addStr(sid)
-		p, _ := d.Person(id)
-		pc.add(p)
-		for ri, r := range dataset.Roles() {
-			roleFlags[ri].addBool(held[id][r])
-		}
-		papers.addInt(authored[id])
-		if p != nil && p.HasGSProfile {
-			gsPubs.addFloat(float64(p.GS.Publications))
-			hindex.addFloat(float64(p.GS.HIndex))
-		} else {
-			gsPubs.addNull()
-			hindex.addNull()
-		}
-		if p != nil && p.HasS2 {
-			s2Pubs.addFloat(float64(p.S2Pubs))
-		} else {
-			s2Pubs.addNull()
-		}
+		emitPersonRow(d, id, held[id], authored[id], s)
 		n++
 	}
 	cols := []*Column{person.finish(n)}
@@ -365,35 +439,107 @@ func flagName(r dataset.Role) string {
 	return strings.ReplaceAll(strings.ToLower(r.String()), " ", "_")
 }
 
+// membersSinks names the members frame's columns in schema order.
+type membersSinks struct {
+	role, person colSink
+	pc           personSinks
+}
+
+// confNewMembers returns the members first qualifying at conference c —
+// paper authors not seen at any earlier conference, then PC members
+// likewise — each sorted by ID, and marks them seen.
+func confNewMembers(d *dataset.Dataset, c *dataset.Conference, seenAuthor, seenPC map[dataset.PersonID]bool) (authors, members []dataset.PersonID) {
+	for _, id := range d.UniqueAuthors(c.ID) {
+		if !seenAuthor[id] {
+			seenAuthor[id] = true
+			authors = append(authors, id)
+		}
+	}
+	for _, id := range d.UniqueRoleHolders(dataset.RolePCMember, c.ID) {
+		if !seenPC[id] {
+			seenPC[id] = true
+			members = append(members, id)
+		}
+	}
+	return authors, members
+}
+
+// emitConfMembers emits the rows conference c contributes to the members
+// frame — its newly-qualifying unique authors followed by its
+// newly-qualifying unique PC members — and returns the row count.
+func emitConfMembers(d *dataset.Dataset, c *dataset.Conference, seenAuthor, seenPC map[dataset.PersonID]bool, s membersSinks) int {
+	authors, members := confNewMembers(d, c, seenAuthor, seenPC)
+	emit := func(r dataset.Role, ids []dataset.PersonID) {
+		for _, id := range ids {
+			s.role.addStr(r.String())
+			s.person.addStr(string(id))
+			p, _ := d.Person(id)
+			s.pc.add(p)
+		}
+	}
+	emit(dataset.RoleAuthor, authors)
+	emit(dataset.RolePCMember, members)
+	return len(authors) + len(members)
+}
+
 // buildMembers emits one row per (person, population) membership, where the
 // populations are the paper's two §5 demographic bases: unique authors and
 // unique PC members. A person in both populations contributes two rows.
+// Rows are in first-qualification order — conferences in corpus order, and
+// per conference the newly-qualifying unique authors (sorted by ID)
+// followed by the newly-qualifying PC members (sorted by ID) — so the
+// membership multiset equals the global unique populations while appending
+// a conference only ever appends rows.
 func buildMembers(d *dataset.Dataset) *Frame {
 	role := newStrCol("role", NewDict(
 		dataset.RoleAuthor.String(), dataset.RolePCMember.String()))
 	person := newStrCol("person", nil)
 	pc := newPersonCols()
 
+	s := membersSinks{role: role, person: person, pc: pc.sinks()}
+	seenAuthor := make(map[dataset.PersonID]bool)
+	seenPC := make(map[dataset.PersonID]bool)
 	n := 0
-	add := func(r dataset.Role, ids []dataset.PersonID) {
-		for _, id := range ids {
-			role.addStr(r.String())
-			person.addStr(string(id))
-			p, _ := d.Person(id)
-			pc.add(p)
-			n++
-		}
+	for _, c := range d.Conferences {
+		n += emitConfMembers(d, c, seenAuthor, seenPC, s)
 	}
-	add(dataset.RoleAuthor, d.UniqueAuthors())
-	add(dataset.RolePCMember, d.UniqueRoleHolders(dataset.RolePCMember))
 
 	cols := []*Column{role.finish(n), person.finish(n)}
 	cols = append(cols, pc.finish(n)...)
 	return newFrame(FrameMembers, n, cols)
 }
 
+// papersSinks names the papers frame's columns in schema order.
+type papersSinks struct {
+	paper, conf, name, year                        colSink
+	leadGender, leadKnown, leadFemale              colSink
+	citations, hpc, authors, doubleBlind           colSink
+}
+
+// emitPaperRow emits one paper row with lead-author demographics
+// denormalized.
+func emitPaperRow(d *dataset.Dataset, p *dataset.Paper, c *dataset.Conference, s papersSinks) {
+	s.paper.addStr(string(p.ID))
+	s.conf.addStr(string(c.ID))
+	s.name.addStr(c.Name)
+	s.year.addInt(int64(c.Year))
+	g := "unknown"
+	if lead, ok := d.Person(p.Lead()); ok {
+		g = lead.Gender.String()
+	}
+	s.leadGender.addStr(g)
+	s.leadKnown.addBool(g == "female" || g == "male")
+	s.leadFemale.addBool(g == "female")
+	s.citations.addInt(int64(p.Citations36))
+	s.hpc.addBool(p.HPCTopic)
+	s.authors.addInt(int64(len(p.Authors)))
+	s.doubleBlind.addBool(c.DoubleBlind)
+}
+
 // buildPapers emits one row per paper in corpus order, with lead-author
-// demographics denormalized for reception-style slices.
+// demographics denormalized for reception-style slices. Corpus order keeps
+// each conference's papers contiguous (the synthesizer and the delta merge
+// both append per conference), so appending a conference appends rows.
 func buildPapers(d *dataset.Dataset) *Frame {
 	confIDs, confNames := confDicts(d)
 	paper := newStrCol("paper", nil)
@@ -408,27 +554,18 @@ func buildPapers(d *dataset.Dataset) *Frame {
 	authors := newIntCol("authors")
 	doubleBlind := newBoolCol("double_blind")
 
+	s := papersSinks{
+		paper: paper, conf: conf, name: name, year: year,
+		leadGender: leadGender, leadKnown: leadKnown, leadFemale: leadFemale,
+		citations: citations, hpc: hpc, authors: authors, doubleBlind: doubleBlind,
+	}
 	n := 0
 	for _, p := range d.Papers {
 		c, ok := d.Conference(p.Conf)
 		if !ok {
 			continue
 		}
-		paper.addStr(string(p.ID))
-		conf.addStr(string(c.ID))
-		name.addStr(c.Name)
-		year.addInt(int64(c.Year))
-		g := "unknown"
-		if lead, ok := d.Person(p.Lead()); ok {
-			g = lead.Gender.String()
-		}
-		leadGender.addStr(g)
-		leadKnown.addBool(g == "female" || g == "male")
-		leadFemale.addBool(g == "female")
-		citations.addInt(int64(p.Citations36))
-		hpc.addBool(p.HPCTopic)
-		authors.addInt(int64(len(p.Authors)))
-		doubleBlind.addBool(c.DoubleBlind)
+		emitPaperRow(d, p, c, s)
 		n++
 	}
 	return newFrame(FramePapers, n, []*Column{
@@ -436,4 +573,117 @@ func buildPapers(d *dataset.Dataset) *Frame {
 		leadGender.finish(n), leadKnown.finish(n), leadFemale.finish(n),
 		citations.finish(n), hpc.finish(n), authors.finish(n), doubleBlind.finish(n),
 	})
+}
+
+// confParticipants returns the unique participants of one conference —
+// every paper author plus every roster member — sorted by ID.
+func confParticipants(d *dataset.Dataset, c *dataset.Conference) []dataset.PersonID {
+	set := participantSet(d, c)
+	out := make([]dataset.PersonID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// participantSet returns the unique participant set of one conference.
+func participantSet(d *dataset.Dataset, c *dataset.Conference) map[dataset.PersonID]bool {
+	set := make(map[dataset.PersonID]bool)
+	for _, p := range d.PapersOf(c.ID) {
+		for _, id := range p.Authors {
+			set[id] = true
+		}
+	}
+	for _, r := range dataset.Roles() {
+		for _, id := range c.RoleHolders(r) {
+			set[id] = true
+		}
+	}
+	return set
+}
+
+// nextEdition returns the conference of the same series held the following
+// year, if the corpus holds one.
+func nextEdition(d *dataset.Dataset, c *dataset.Conference) *dataset.Conference {
+	for _, o := range d.Conferences {
+		if o != c && o.Name == c.Name && o.Year == c.Year+1 {
+			return o
+		}
+	}
+	return nil
+}
+
+// prevEdition returns the conference of the same series held the preceding
+// year, if the corpus holds one.
+func prevEdition(d *dataset.Dataset, c *dataset.Conference) *dataset.Conference {
+	for _, o := range d.Conferences {
+		if o != c && o.Name == c.Name && o.Year == c.Year-1 {
+			return o
+		}
+	}
+	return nil
+}
+
+// cohortsSinks names the cohorts frame's columns in schema order.
+type cohortsSinks struct {
+	conf, series, year, person colSink
+	pc                         personSinks
+	retained, observed         colSink
+}
+
+// emitConfCohorts emits one row per unique participant of conference c,
+// sorted by ID, with the retention outcome against the next edition of the
+// same series: observed reports whether that edition exists in the corpus,
+// retained whether the participant appears in it. Returns the row count.
+func emitConfCohorts(d *dataset.Dataset, c *dataset.Conference, s cohortsSinks) int {
+	next := nextEdition(d, c)
+	var nextSet map[dataset.PersonID]bool
+	if next != nil {
+		nextSet = participantSet(d, next)
+	}
+	n := 0
+	for _, id := range confParticipants(d, c) {
+		s.conf.addStr(string(c.ID))
+		s.series.addStr(c.Name)
+		s.year.addInt(int64(c.Year))
+		s.person.addStr(string(id))
+		p, _ := d.Person(id)
+		s.pc.add(p)
+		s.retained.addBool(next != nil && nextSet[id])
+		s.observed.addBool(next != nil)
+		n++
+	}
+	return n
+}
+
+// buildCohorts emits one row per (conference, unique participant) pair —
+// the cohort-retention base of the trend workload. Rows are
+// conference-major in corpus order with participants sorted by ID, so an
+// appended conference contributes a pure tail block; its arrival also
+// flips the previous edition's observed/retained bits, which the append
+// path patches in place.
+func buildCohorts(d *dataset.Dataset) *Frame {
+	confIDs, confNames := confDicts(d)
+	conf := newStrCol("conf", confIDs)
+	series := newStrCol("series", confNames)
+	year := newIntCol("year")
+	person := newStrCol("person", nil)
+	pc := newPersonCols()
+	retained := newBoolCol("retained")
+	observed := newBoolCol("observed")
+
+	s := cohortsSinks{
+		conf: conf, series: series, year: year, person: person,
+		pc:       pc.sinks(),
+		retained: retained, observed: observed,
+	}
+	n := 0
+	for _, c := range d.Conferences {
+		n += emitConfCohorts(d, c, s)
+	}
+	cols := []*Column{conf.finish(n), series.finish(n), year.finish(n), person.finish(n)}
+	cols = append(cols, pc.finish(n)...)
+	cols = append(cols, retained.finish(n), observed.finish(n))
+	return newFrame(FrameCohorts, n, cols)
 }

@@ -34,6 +34,7 @@ func CSVExports(d *dataset.Dataset) []CSVExport {
 		{"experience_bands", "Experience-band stratification", func() ([][]string, error) { return bandRows(d) }},
 		{"citations", "Per-paper citation reception", func() ([][]string, error) { return citationRows(d) }},
 		{"trend", "Flagship FAR time series", func() ([][]string, error) { return trendRows(d) }},
+		{"retention", "Cohort retention of role-holders across editions", func() ([][]string, error) { return retentionRows(d) }},
 	}
 }
 
@@ -200,6 +201,19 @@ func trendRows(d *dataset.Dataset) ([][]string, error) {
 			p.Series, strconv.Itoa(p.Year),
 			strconv.Itoa(p.FAR.K), strconv.Itoa(p.FAR.N),
 			ftoa(p.FAR.Ratio()), ftoa(p.Attendance),
+		})
+	}
+	return rows, nil
+}
+
+func retentionRows(d *dataset.Dataset) ([][]string, error) {
+	rows := [][]string{{"series", "year", "holders", "women", "observed", "returned", "women_returned", "rate"}}
+	for _, p := range core.CohortRetention(d) {
+		rows = append(rows, []string{
+			p.Series, strconv.Itoa(p.Year),
+			strconv.Itoa(p.Holders), strconv.Itoa(p.Women),
+			strconv.Itoa(p.Observed), strconv.Itoa(p.Returned),
+			strconv.Itoa(p.WomenReturned), ftoa(p.Rate()),
 		})
 	}
 	return rows, nil

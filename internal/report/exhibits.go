@@ -191,6 +191,28 @@ func Sec34(w io.Writer, d *dataset.Dataset) error {
 	return nil
 }
 
+// CohortRetentionSection renders the extension's year-over-year cohort
+// ledger: how many role-holders of each edition (and how many of its
+// women) return the following year. The last edition of a series is
+// right-censored — there is no next year to observe — and renders as such
+// rather than as a zero rate.
+func CohortRetentionSection(w io.Writer, d *dataset.Dataset) error {
+	t := NewTable("Series", "Year", "Holders", "Women", "Returned", "Women ret.", "Retention").
+		AlignRight(1, 2, 3, 4, 5, 6)
+	for _, p := range core.CohortRetention(d) {
+		rate := "censored"
+		if p.Observed > 0 {
+			rate = Pct(p.Rate())
+		}
+		if err := t.AddRow(p.Series, strconv.Itoa(p.Year),
+			strconv.Itoa(p.Holders), strconv.Itoa(p.Women),
+			strconv.Itoa(p.Returned), strconv.Itoa(p.WomenReturned), rate); err != nil {
+			return err
+		}
+	}
+	return t.RenderTo(w)
+}
+
 // Sec41 renders the §4.1 HPC-only topic analysis.
 func Sec41(w io.Writer, d *dataset.Dataset) error {
 	r, err := core.HPCOnlySubset(d)

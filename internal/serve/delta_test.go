@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/delta"
+	"repro/internal/leakcheck"
+	"repro/internal/obs"
+	"repro/internal/snap"
+	"repro/internal/synth"
+)
+
+// postTrend drives one /v1/trend request through the full middleware chain.
+func postTrend(t *testing.T, s *Server, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", target, strings.NewReader(body)))
+	return rec
+}
+
+// writeDeltaDir builds the longitudinal serving fixture: the flagship base
+// snapshot plus the SC'21 year delta, both under the snapshot-dir naming
+// convention, so a booting server materializes the grown corpus.
+func writeDeltaDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := synth.FlagshipSeries(testSeed)
+	base, err := repro.NewStudyFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.SaveSnapshot(filepath.Join(dir, snap.CorpusFileName(CorpusFlagship, testSeed))); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := synth.YearSpec(cfg, "SC", 2021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yd, baseCorpus, err := synth.GenerateYearDelta(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snap.DeltaFileName(CorpusFlagship, testSeed, 2021))
+	if err := delta.WriteFile(path, yd, baseCorpus.Data); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// grownFlagship resynthesizes the flagship corpus with SC'21 in its
+// calibration from the start — the ground truth a delta-serving server
+// must match byte-for-byte.
+func grownFlagship(t *testing.T) *repro.Study {
+	t.Helper()
+	cfg := synth.FlagshipSeries(testSeed)
+	spec, err := synth.YearSpec(cfg, "SC", 2021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Confs = append(append([]synth.ConfSpec(nil), cfg.Confs...), spec)
+	s, err := repro.NewStudyFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// exhibitQueryCSV renders one exhibit query directly on a study.
+func exhibitQueryCSV(t *testing.T, st *repro.Study, name string) []byte {
+	t.Helper()
+	eq, ok := repro.ExhibitQueryByName(name)
+	if !ok {
+		t.Fatalf("no %s exhibit query", name)
+	}
+	res, err := st.Query(eq.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeltaAppliedAtMaterialization: a snapshot dir holding a base
+// snapshot plus a year delta must serve the grown corpus — /v1/trend in
+// both views byte-identical to a study resynthesized with the extra year —
+// and count exactly one delta apply and zero quarantines.
+func TestDeltaAppliedAtMaterialization(t *testing.T) {
+	leakcheck.Check(t)
+	dir := writeDeltaDir(t)
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Metrics = obs.NewRegistry()
+	})
+	grown := grownFlagship(t)
+
+	for view, name := range map[string]string{"far": "trend", "retention": "retention"} {
+		rec := postTrend(t, s, "/v1/trend?corpus=flagship", `{"view":"`+view+`"}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("view %s: status = %d: %s", view, rec.Code, rec.Body.String())
+		}
+		if !bytes.Equal(rec.Body.Bytes(), exhibitQueryCSV(t, grown, name)) {
+			t.Errorf("view %s: /v1/trend differs from the resynthesized grown corpus", view)
+		}
+	}
+	// The empty body defaults to the FAR view.
+	def := postTrend(t, s, "/v1/trend?corpus=flagship", "")
+	if def.Code != http.StatusOK {
+		t.Fatalf("default view: status = %d: %s", def.Code, def.Body.String())
+	}
+	if !bytes.Equal(def.Body.Bytes(), exhibitQueryCSV(t, grown, "trend")) {
+		t.Error("default /v1/trend differs from the far view")
+	}
+
+	// The whole corpus is grown, not just the trend: the CSV exports match
+	// the resynthesis too.
+	rec := get(t, s, "/v1/csv/retention?corpus=flagship")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/csv/retention status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !bytes.Equal(rec.Body.Bytes(), exhibitQueryCSV(t, grown, "retention")) {
+		t.Error("/v1/csv/retention differs from the resynthesized grown corpus")
+	}
+
+	if got := metricValue(t, s, "whpcd_delta_applies_total"); got != "1" {
+		t.Errorf("whpcd_delta_applies_total = %s, want 1", got)
+	}
+	if got := metricValue(t, s, "whpcd_snapshot_quarantines_total"); got != "0" {
+		t.Errorf("whpcd_snapshot_quarantines_total = %s, want 0", got)
+	}
+	if got := metricValue(t, s, "whpcd_snapshot_loads_total"); got != "1" {
+		t.Errorf("whpcd_snapshot_loads_total = %s, want 1", got)
+	}
+}
+
+// TestDeltaTrendUnknownView: an unrecognized view is the client's 400 with
+// the structured error envelope.
+func TestDeltaTrendUnknownView(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := postTrend(t, s, "/v1/trend", `{"view":"sideways"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	dto := decodeQueryError(t, rec)
+	if !strings.Contains(dto.Error, "sideways") {
+		t.Errorf("error %q does not name the bad view", dto.Error)
+	}
+}
+
+// TestDeltaTornFileQuarantined: a truncated delta file must be quarantined
+// through the snapshot quarantine path and the base study must serve
+// untouched — the torn year is dropped, never half-applied.
+func TestDeltaTornFileQuarantined(t *testing.T) {
+	dir := writeDeltaDir(t)
+	path := filepath.Join(dir, snap.DeltaFileName(CorpusFlagship, testSeed, 2021))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Metrics = obs.NewRegistry()
+	})
+	base, err := repro.NewStudyFromConfig(synth.FlagshipSeries(testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := postTrend(t, s, "/v1/trend?corpus=flagship", `{"view":"far"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !bytes.Equal(rec.Body.Bytes(), exhibitQueryCSV(t, base, "trend")) {
+		t.Error("base study's trend changed after a torn delta — the apply was not atomic")
+	}
+	if got := metricValue(t, s, "whpcd_delta_applies_total"); got != "0" {
+		t.Errorf("whpcd_delta_applies_total = %s, want 0", got)
+	}
+	if got := metricValue(t, s, "whpcd_snapshot_quarantines_total"); got != "1" {
+		t.Errorf("whpcd_snapshot_quarantines_total = %s, want 1", got)
+	}
+	if _, err := os.Stat(path + QuarantineSuffix); err != nil {
+		t.Errorf("torn delta was not renamed aside: %v", err)
+	}
+}
+
+// TestDeltaTrendClusterIdentity: in cluster mode the delta-grown frames
+// are split on PartitionRows boundaries at placement, and /v1/trend must
+// return exactly the single-process bytes at 1 and 4 shards.
+func TestDeltaTrendClusterIdentity(t *testing.T) {
+	dir := writeDeltaDir(t)
+	single := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Metrics = obs.NewRegistry()
+	})
+	want := map[string][]byte{}
+	for _, view := range []string{"far", "retention"} {
+		rec := postTrend(t, single, "/v1/trend?corpus=flagship", `{"view":"`+view+`"}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("single-process view %s: status = %d: %s", view, rec.Code, rec.Body.String())
+		}
+		want[view] = rec.Body.Bytes()
+	}
+	for _, shards := range []int{1, 4} {
+		s := newTestServer(t, func(c *Config) {
+			c.SnapshotDir = dir
+			c.Metrics = obs.NewRegistry()
+			c.ClusterShards = shards
+		})
+		for _, view := range []string{"far", "retention"} {
+			rec := postTrend(t, s, "/v1/trend?corpus=flagship", `{"view":"`+view+`"}`)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("shards=%d view %s: status = %d: %s", shards, view, rec.Code, rec.Body.String())
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want[view]) {
+				t.Errorf("shards=%d view %s: federated /v1/trend differs from single-process", shards, view)
+			}
+		}
+	}
+}

@@ -76,6 +76,18 @@ func (s *Server) study(w http.ResponseWriter, r *http.Request) (*repro.Study, St
 	return st, key, true
 }
 
+// cacheID extends a study key's canonical string with the study's delta
+// revision. A StudyKey alone no longer determines a study's bytes once the
+// snapshot directory can hold year deltas: a study evicted and then
+// re-materialized under the same key picks up any delta files that landed
+// in the meantime, and a cached render of the smaller corpus must not be
+// served for the grown one. The revision is fixed at materialization time
+// (deltas only apply before the registry publishes a study), so one
+// resident study always yields one cache identity.
+func cacheID(key StudyKey, st *repro.Study) string {
+	return key.String() + ",rev=" + strconv.FormatUint(st.Revision(), 10)
+}
+
 // serveCached answers the request from the exhibit cache, rendering with
 // compute on a miss. The cache key must uniquely determine the bytes (it
 // embeds the study key and route); the X-Cache header reports hit, miss,
@@ -235,7 +247,7 @@ func (s *Server) handleFAR(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, r, "far|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "far|"+cacheID(key, st), "application/json; charset=utf-8", func() ([]byte, error) {
 		far := st.FAR()
 		dto := farDTO{
 			Study:         dtoStudy(key),
@@ -263,7 +275,7 @@ func (s *Server) handleRoles(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, r, "roles|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "roles|"+cacheID(key, st), "application/json; charset=utf-8", func() ([]byte, error) {
 		tab := st.Roles()
 		dto := rolesDTO{
 			Study:       dtoStudy(key),
@@ -293,7 +305,7 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, r, "sensitivity|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "sensitivity|"+cacheID(key, st), "application/json; charset=utf-8", func() ([]byte, error) {
 		res, err := st.Sensitivity()
 		if err != nil {
 			return nil, err
@@ -320,7 +332,7 @@ func (s *Server) handleExhibitList(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, r, "exhibits|"+key.String(), "application/json; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "exhibits|"+cacheID(key, st), "application/json; charset=utf-8", func() ([]byte, error) {
 		exhibits := st.Exhibits()
 		out := make([]exhibitDTO, 0, len(exhibits))
 		for _, e := range exhibits {
@@ -346,7 +358,7 @@ func (s *Server) handleExhibit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown exhibit %q (list them at /v1/exhibits)", id), http.StatusNotFound)
 		return
 	}
-	s.serveCached(w, r, "exhibit|"+id+"|"+key.String(), "text/plain; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "exhibit|"+id+"|"+cacheID(key, st), "text/plain; charset=utf-8", func() ([]byte, error) {
 		var buf bytes.Buffer
 		if err := ex.Render(&buf); err != nil {
 			return nil, err
@@ -362,7 +374,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.serveCached(w, r, "report|"+key.String(), "text/plain; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "report|"+cacheID(key, st), "text/plain; charset=utf-8", func() ([]byte, error) {
 		var buf bytes.Buffer
 		if err := st.WriteReport(&buf); err != nil {
 			return nil, err
@@ -389,7 +401,7 @@ func (s *Server) handleCSV(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown csv export %q (have %v)", name, names), http.StatusNotFound)
 		return
 	}
-	s.serveCached(w, r, "csv|"+name+"|"+key.String(), "text/csv; charset=utf-8", func() ([]byte, error) {
+	s.serveCached(w, r, "csv|"+name+"|"+cacheID(key, st), "text/csv; charset=utf-8", func() ([]byte, error) {
 		rows, err := exp.Rows()
 		if err != nil {
 			return nil, err

@@ -8,6 +8,8 @@ import (
 	"io/fs"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"repro"
@@ -171,6 +173,43 @@ func (s *Server) loadSnapshot(path string) (*repro.Study, error) {
 		return nil, err
 	}
 	return study, nil
+}
+
+// applyDeltas extends a freshly materialized pristine study with every
+// year delta present in the snapshot directory for its (corpus, seed)
+// stem, in ascending year order (the lexicographic sort of the fixed-stem
+// file names orders four-digit years correctly). Each apply is attempted
+// twice — the retry absorbs a torn read caught mid-rotation, and
+// Study.ApplyDelta is atomic, so a failed attempt leaves the base study
+// exactly as it was. A delta that still fails is quarantined like a
+// corrupt base snapshot and the scan continues: the study serves without
+// that year rather than not at all. Runs during materialization, before
+// the registry publishes the study, so request handlers only ever observe
+// fully patched studies.
+func (s *Server) applyDeltas(key StudyKey, st *repro.Study) {
+	paths, err := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, snap.DeltaFilePattern(key.Corpus, key.Seed)))
+	if err != nil || len(paths) == 0 {
+		return
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		r := resilience.Retryer{MaxAttempts: 2, Clock: s.clock}
+		//whpcvet:ignore ctxflow delta application is materialization work shared across requests, deliberately detached from any one request's deadline
+		err := r.Do(context.Background(), func(context.Context) error {
+			aerr := st.ApplyDeltaFileInjected(path, s.inj)
+			if aerr != nil && errors.Is(aerr, fs.ErrNotExist) {
+				return resilience.Permanent(aerr)
+			}
+			return aerr
+		})
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				s.quarantine(path, err)
+			}
+			continue
+		}
+		s.met.deltaApplies.Inc()
+	}
 }
 
 // quarantine renames a snapshot that failed decode twice to

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -99,7 +101,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if q.Format == query.FormatCSV {
 		contentType = "text/csv; charset=utf-8"
 	}
-	cacheKey := "query|" + q.Hash() + "|" + key.String()
+	cacheKey := "query|" + q.Hash() + "|" + cacheID(key, st)
 	out, outcome, err := s.cache.Get(r.Context(), cacheKey, func(ctx context.Context) ([]byte, error) {
 		if injected, ferr := s.renderFault(ctx, chaos.PointRender); injected {
 			return nil, ferr
@@ -130,6 +132,109 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.queries.With(q.Frame).Inc()
 	h := w.Header()
 	h.Set("Content-Type", contentType)
+	h.Set("Content-Length", strconv.Itoa(len(out)))
+	h.Set("X-Cache", outcome)
+	if outcome == CacheStale {
+		h.Set("Warning", `110 whpcd "stale: re-render failed; bytes are from an earlier identical render"`)
+	}
+	_, _ = w.Write(out)
+}
+
+// trendRequestDTO selects which longitudinal view POST /v1/trend serves.
+type trendRequestDTO struct {
+	// View is "far" (year-over-year female author ratio trajectories, the
+	// default) or "retention" (cohort retention of role-holders across
+	// editions).
+	View string `json:"view"`
+}
+
+// trendViews maps each /v1/trend view to the exhibit query that serves it.
+// Both queries are verified byte-for-byte against their report CSV
+// families, so the route inherits the reproduction's correctness anchor.
+var trendViews = map[string]string{
+	"far":       "trend",
+	"retention": "retention",
+}
+
+// handleTrend serves POST /v1/trend: the year-over-year trend workload as
+// CSV. The body is an optional JSON {"view": "far"|"retention"}; an empty
+// body serves the FAR view. Execution goes through runQuery, so in cluster
+// mode the trend scatter-gathers across the shard federation (delta-grown
+// frames are re-sliced on PartitionRows boundaries at placement time) and
+// is byte-identical to the single-process path. Results memoize through
+// the exhibit cache keyed by view and the revision-qualified study
+// identity, so applying a delta invalidates exactly the trend renders
+// whose inputs changed.
+func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
+	key, err := s.parseStudyKey(r)
+	if err != nil {
+		writeQueryError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeQueryError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("trend request exceeds %d bytes", maxQueryBytes))
+			return
+		}
+		writeQueryError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	view := "far"
+	if len(bytes.TrimSpace(body)) > 0 {
+		var req trendRequestDTO
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeQueryError(w, http.StatusBadRequest, fmt.Sprintf("parsing trend request: %v", err))
+			return
+		}
+		if req.View != "" {
+			view = req.View
+		}
+	}
+	name, ok := trendViews[view]
+	if !ok {
+		writeQueryError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown trend view %q (have [far retention])", view))
+		return
+	}
+	eq, ok := repro.ExhibitQueryByName(name)
+	if !ok {
+		writeQueryError(w, http.StatusInternalServerError,
+			fmt.Sprintf("exhibit query %q is not registered", name))
+		return
+	}
+	st, err := s.studies.Get(r.Context(), key)
+	if err != nil {
+		writeQueryError(w, errorStatus(err),
+			fmt.Sprintf("materializing study (%s): %v", key, err))
+		return
+	}
+
+	cacheKey := "trend|" + view + "|" + cacheID(key, st)
+	out, outcome, err := s.cache.Get(r.Context(), cacheKey, func(ctx context.Context) ([]byte, error) {
+		if injected, ferr := s.renderFault(ctx, chaos.PointRender); injected {
+			return nil, ferr
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		start := s.clock.Now()
+		defer func() { s.met.renders.ObserveDuration(s.clock.Now().Sub(start)) }()
+		res, err := s.runQuery(ctx, key, st, eq.Query)
+		if err != nil {
+			return nil, err
+		}
+		return res.CSV()
+	})
+	if err != nil {
+		writeQueryError(w, errorStatus(err), err.Error())
+		return
+	}
+	s.met.queries.With(eq.Query.Frame).Inc()
+	h := w.Header()
+	h.Set("Content-Type", "text/csv; charset=utf-8")
 	h.Set("Content-Length", strconv.Itoa(len(out)))
 	h.Set("X-Cache", outcome)
 	if outcome == CacheStale {

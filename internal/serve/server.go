@@ -121,6 +121,7 @@ type metrics struct {
 	snapshotLoads       *obs.Counter
 	snapshotFallbacks   *obs.Counter
 	snapshotQuarantines *obs.Counter
+	deltaApplies        *obs.Counter
 
 	panics        *obs.Counter
 	staleServes   *obs.Counter
@@ -166,6 +167,8 @@ func newMetrics(r *obs.Registry) *metrics {
 			"Snapshot warm-path attempts that fell back to synthesis (missing, corrupt, or version-skewed file)."),
 		snapshotQuarantines: r.Counter("whpcd_snapshot_quarantines_total",
 			"Snapshot files renamed aside after failing decode twice; quarantined files are never re-read."),
+		deltaApplies: r.Counter("whpcd_delta_applies_total",
+			"Year deltas from the snapshot directory applied to materialized studies."),
 		panics: r.Counter("whpcd_panics_total",
 			"Handler panics contained by the recovery middleware; the daemon kept serving."),
 		staleServes: r.Counter("whpcd_stale_serves_total",
@@ -301,6 +304,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/report", s.handleReport)
 	s.route("GET /v1/csv/{name}", s.handleCSV)
 	s.route("POST /v1/query", s.handleQuery)
+	s.route("POST /v1/trend", s.handleTrend)
 	s.route("GET /metrics", cfg.Metrics.Handler().ServeHTTP)
 	s.route("GET /debug/vars", cfg.Metrics.VarsHandler().ServeHTTP)
 	return s, nil
@@ -462,6 +466,7 @@ func (s *Server) buildStudy(key StudyKey) (*repro.Study, error) {
 			study, err := s.loadSnapshot(path)
 			if err == nil {
 				s.met.snapshotLoads.Inc()
+				s.applyDeltas(key, study)
 				return study, nil
 			}
 			// Missing, truncated, corrupt, or version-skewed snapshots all
@@ -472,7 +477,16 @@ func (s *Server) buildStudy(key StudyKey) (*repro.Study, error) {
 			s.met.snapshotFallbacks.Inc()
 			s.logError(fmt.Sprintf("snapshot fallback for study (%s): synthesizing after %v", key, err))
 		}
-		return repro.NewStudyFromConfig(cfg)
+		study, err := repro.NewStudyFromConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// A synthesized base is byte-identical to the snapshot it replaced,
+		// so the snapshot dir's year deltas apply to it just the same.
+		if s.cfg.SnapshotDir != "" {
+			s.applyDeltas(key, study)
+		}
+		return study, nil
 	}
 	return repro.NewObservedHarvestedStudy(cfg, key.Profile, repro.HarvestHooks{
 		OnRetry:   s.met.harvestRetries.Inc,

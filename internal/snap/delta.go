@@ -1,0 +1,209 @@
+package snap
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chaos"
+	"repro/internal/dataset"
+)
+
+// Delta snapshots reuse the whole .whpcsnap container discipline — magic,
+// format version, section directory, per-section CRC-32s and the
+// whole-file trailer — to carry one conference-year's contribution instead
+// of a full corpus. The standard persons/conferences/papers sections hold
+// a self-contained mini-corpus (the appended conference, its papers, and
+// the full records of every participant, reused or new), and a "delta"
+// section records the edition's year, its conference ID, and a fingerprint
+// of the base corpus the delta extends. The meta flag bit flagIsDelta
+// keeps the two file kinds mutually unreadable: a full-snapshot reader
+// built before this flag existed rejects delta files as corrupt rather
+// than loading a nine-conference study with one conference in it, and
+// Open/Read here refuse delta files symmetrically.
+
+// SectionDelta is the delta-identity section of a delta snapshot.
+const SectionDelta = "delta"
+
+// DeltaInfo identifies what a delta snapshot appends and which base corpus
+// it applies to.
+type DeltaInfo struct {
+	// Year is the conference edition's year.
+	Year int
+	// ConfID is the appended conference's ID (e.g. "SC21").
+	ConfID string
+	// BaseFingerprint is the fingerprint of the base corpus the delta was
+	// generated against (internal/delta computes and verifies it); applying
+	// a delta to any other corpus is rejected before a single row moves.
+	BaseFingerprint uint64
+}
+
+func encodeDelta(info DeltaInfo) []byte {
+	e := &enc{}
+	e.uvarint(uint64(info.Year))
+	e.str(info.ConfID)
+	e.uvarint(info.BaseFingerprint)
+	return e.bytesOut()
+}
+
+func decodeDelta(data []byte) (DeltaInfo, error) {
+	dc := newDec(SectionDelta, data)
+	var info DeltaInfo
+	year, err := dc.uvarint("delta year")
+	if err != nil {
+		return info, err
+	}
+	if year > 1<<20 {
+		return info, dc.err(fmt.Sprintf("delta year %d is implausible", year), ErrCorrupt)
+	}
+	info.Year = int(year)
+	if info.ConfID, err = dc.str("delta conference ID"); err != nil {
+		return info, err
+	}
+	if info.ConfID == "" {
+		return info, dc.err("delta conference ID is empty", ErrCorrupt)
+	}
+	if info.BaseFingerprint, err = dc.uvarint("delta base fingerprint"); err != nil {
+		return info, err
+	}
+	if err := dc.finished("delta"); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// AddDelta marks the snapshot under construction as a delta carrying the
+// given identity. The mini-corpus still arrives via AddCorpus; frames are
+// rejected on delta snapshots (the point of a delta is that the base
+// study's frames are patched in place, not replaced).
+func (sw *Writer) AddDelta(info DeltaInfo) error {
+	if sw.closed {
+		return fmt.Errorf("snap: AddDelta on closed Writer")
+	}
+	if sw.delta {
+		return fmt.Errorf("snap: AddDelta called twice")
+	}
+	if sw.frames {
+		return fmt.Errorf("snap: delta snapshots cannot carry frames")
+	}
+	if info.ConfID == "" {
+		return fmt.Errorf("snap: delta conference ID is empty")
+	}
+	sw.sections = append(sw.sections, wsection{SectionDelta, encodeDelta(info)})
+	sw.delta = true
+	return nil
+}
+
+// IsDelta reports whether the snapshot is a delta (one conference-year's
+// contribution) rather than a full corpus.
+func (r *Reader) IsDelta() bool { return r.meta.isDelta }
+
+// Delta decodes the delta-identity section. It returns a *FormatError
+// wrapping ErrNoSection when the snapshot is not a delta.
+func (r *Reader) Delta() (DeltaInfo, error) {
+	payload, ok := r.payloads[SectionDelta]
+	if !ok {
+		return DeltaInfo{}, &FormatError{Section: SectionDelta, Msg: "snapshot is not a delta", Err: ErrNoSection}
+	}
+	return decodeDelta(payload)
+}
+
+// WriteDelta emits a delta snapshot to w: info plus the mini-corpus d (the
+// appended conference, its papers, and every participant's full record).
+func WriteDelta(w io.Writer, info DeltaInfo, d *dataset.Dataset) error {
+	sw := NewWriter(w)
+	if err := sw.AddDelta(info); err != nil {
+		return err
+	}
+	if err := sw.AddCorpus(d); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// WriteDeltaFile writes a delta snapshot to path atomically (temp sibling
+// plus rename, like WriteFile).
+func WriteDeltaFile(path string, info DeltaInfo, d *dataset.Dataset) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//whpcvet:ignore errcheck best-effort cleanup of the temp file on the error paths; the success path renamed it away
+		os.Remove(tmp.Name())
+	}()
+	if err := WriteDelta(tmp, info, d); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// OpenDelta reads the delta snapshot at path, returning its identity and
+// the decoded, validated mini-corpus. Non-delta snapshots are rejected.
+func OpenDelta(path string) (DeltaInfo, *dataset.Dataset, error) {
+	return OpenDeltaInjected(path, chaos.None)
+}
+
+// OpenDeltaInjected is OpenDelta with a chaos injector consulted at the
+// snap.read point (torn-read faults truncate the buffer, every other kind
+// fails the read typed) and at the snap.decode point once per decoded
+// section — the same fault surface OpenInjected exposes, so the serve
+// layer's quarantine path covers torn delta files identically.
+func OpenDeltaInjected(path string, inj chaos.Injector) (DeltaInfo, *dataset.Dataset, error) {
+	inj = chaos.Or(inj)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return DeltaInfo{}, nil, err
+	}
+	if f := inj.Fire(chaos.PointSnapRead); f != nil {
+		switch f.Kind {
+		case chaos.KindTorn:
+			n := len(data) - f.TornBytes
+			if n < 0 {
+				n = 0
+			}
+			data = data[:n]
+		default:
+			return DeltaInfo{}, nil, fmt.Errorf("%s: %w", path, chaos.Injected(chaos.PointSnapRead, f))
+		}
+	}
+	r, err := NewReaderInjected(data, inj)
+	if err != nil {
+		return DeltaInfo{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !r.IsDelta() {
+		return DeltaInfo{}, nil, fmt.Errorf("%s: %w", path, &FormatError{Section: SectionDelta, Msg: "full snapshot where a delta was expected", Err: ErrNoSection})
+	}
+	info, err := r.Delta()
+	if err != nil {
+		return DeltaInfo{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	d, err := r.Corpus()
+	if err != nil {
+		return DeltaInfo{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return info, d, nil
+}
+
+// DeltaFileName is the naming convention for delta files alongside their
+// base snapshot: the base corpus's CorpusFileName stem plus the appended
+// year, e.g. "default-2021.delta-2021.whpcsnap". The whpcd snapshot-dir
+// scan applies deltas in ascending year order after loading the base.
+func DeltaFileName(corpus string, seed uint64, year int) string {
+	return fmt.Sprintf("%s-%d.delta-%d%s", corpus, seed, year, FileExt)
+}
+
+// DeltaFilePattern is the glob matching every delta file of one base
+// snapshot, for the snapshot-dir scan.
+func DeltaFilePattern(corpus string, seed uint64) string {
+	return fmt.Sprintf("%s-%d.delta-*%s", corpus, seed, FileExt)
+}

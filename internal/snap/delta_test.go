@@ -1,0 +1,185 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/affil"
+	"repro/internal/dataset"
+	"repro/internal/gender"
+	"repro/internal/query"
+	"repro/internal/scholar"
+)
+
+// tinyDeltaMini builds the smallest self-contained mini-corpus a delta
+// can carry: one appended edition, its paper, and every participant's full
+// record (p1 reuses tinyDataset's record byte-for-byte; p5 is new).
+func tinyDeltaMini() (DeltaInfo, *dataset.Dataset) {
+	d := dataset.New()
+	persons := []*dataset.Person{
+		{
+			ID: "p1", Name: "Ada One", Forename: "Ada",
+			TrueGender: gender.Female, Gender: gender.Female, AssignMethod: gender.MethodManual,
+			Email: "ada@uni.edu", Affiliation: "Uni", CountryCode: "US", Sector: affil.EDU,
+			HasGSProfile: true, GS: scholar.Profile{Publications: 12, HIndex: 5, I10Index: 3, Citations: 220},
+			HasS2: true, S2Pubs: 14,
+		},
+		{
+			ID: "p5", Name: "Eve Five", Forename: "Eve",
+			TrueGender: gender.Female, Gender: gender.Female, AssignMethod: gender.MethodAutomated,
+			Email: "eve@lab.org", Affiliation: "Lab", CountryCode: "FR", Sector: affil.GOV,
+			HasS2: true, S2Pubs: 6,
+		},
+	}
+	for _, p := range persons {
+		if err := d.AddPerson(p); err != nil {
+			panic(err)
+		}
+	}
+	c := &dataset.Conference{
+		ID: "SC18", Name: "SC", Year: 2018,
+		Date:        time.Date(2018, 11, 12, 0, 0, 0, 0, time.UTC),
+		CountryCode: "US", Submitted: 288, AcceptanceRate: 0.19, Subfield: "HPC",
+		DoubleBlind: true, WomenAttendance: 0.15,
+		PCChairs:      []dataset.PersonID{"p1"},
+		PCMembers:     []dataset.PersonID{"p5"},
+		Keynotes:      []dataset.PersonID{"p1"},
+		Panelists:     []dataset.PersonID{"p5"},
+		SessionChairs: []dataset.PersonID{"p1"},
+	}
+	if err := d.AddConference(c); err != nil {
+		panic(err)
+	}
+	if err := d.AddPaper(&dataset.Paper{
+		ID: "sc18-1", Conf: "SC18", Title: "Newer Things",
+		Authors: []dataset.PersonID{"p5", "p1"}, HPCTopic: true, Citations36: 11,
+	}); err != nil {
+		panic(err)
+	}
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	return DeltaInfo{Year: 2018, ConfID: "SC18", BaseFingerprint: 0xfeedface}, d
+}
+
+// tinyDeltaSnapshot serializes the tiny delta.
+func tinyDeltaSnapshot(t testing.TB) []byte {
+	t.Helper()
+	info, mini := tinyDeltaMini()
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, info, mini); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	info, mini := tinyDeltaMini()
+	path := filepath.Join(t.TempDir(), DeltaFileName("tiny", 7, 2018))
+	if err := WriteDeltaFile(path, info, mini); err != nil {
+		t.Fatalf("WriteDeltaFile: %v", err)
+	}
+	got, d, err := OpenDelta(path)
+	if err != nil {
+		t.Fatalf("OpenDelta: %v", err)
+	}
+	if got != info {
+		t.Errorf("Delta info = %+v, want %+v", got, info)
+	}
+	if len(d.Conferences) != 1 || d.Conferences[0].ID != "SC18" {
+		t.Errorf("mini-corpus carries %d conferences, want exactly SC18", len(d.Conferences))
+	}
+	if len(d.Persons) != 2 || len(d.Papers) != 1 {
+		t.Errorf("mini-corpus has %d persons, %d papers, want 2 and 1", len(d.Persons), len(d.Papers))
+	}
+}
+
+// TestDeltaWriteDeterministic: two writes of the same delta are
+// byte-identical, like full snapshots.
+func TestDeltaWriteDeterministic(t *testing.T) {
+	if !bytes.Equal(tinyDeltaSnapshot(t), tinyDeltaSnapshot(t)) {
+		t.Error("two writes of the same delta produced different bytes")
+	}
+}
+
+// TestDeltaEveryByteFlipRejected extends the no-blind-spot checksum proof
+// to delta files: corrupting any single byte — the delta-identity section
+// included — must fail validation or the delta decode, never load silently
+// wrong longitudinal data.
+func TestDeltaEveryByteFlipRejected(t *testing.T) {
+	data := tinyDeltaSnapshot(t)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		r, err := NewReader(mut)
+		if err != nil {
+			continue
+		}
+		// The meta flag byte participates in the directory checksum, so
+		// even a flip that leaves a structurally valid reader must not
+		// yield a readable delta.
+		if _, derr := r.Delta(); derr == nil {
+			t.Fatalf("reader accepted a delta with byte %d flipped", i)
+		}
+	}
+}
+
+// TestDeltaTruncationsRejected: every proper prefix of a delta file is
+// rejected — the torn-write case the serve quarantine path depends on.
+func TestDeltaTruncationsRejected(t *testing.T) {
+	data := tinyDeltaSnapshot(t)
+	for n := 0; n < len(data); n++ {
+		if _, err := NewReader(data[:n]); err == nil {
+			t.Fatalf("NewReader accepted a %d-byte prefix of a %d-byte delta", n, len(data))
+		}
+	}
+}
+
+// TestDeltaKindsMutuallyRejected: the full-snapshot open path refuses
+// delta files and OpenDelta refuses full snapshots — the flag bit keeps
+// the two kinds unreadable as each other.
+func TestDeltaKindsMutuallyRejected(t *testing.T) {
+	dir := t.TempDir()
+	info, mini := tinyDeltaMini()
+	deltaPath := filepath.Join(dir, "tiny.delta.whpcsnap")
+	if err := WriteDeltaFile(deltaPath, info, mini); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(deltaPath); err == nil {
+		t.Error("full-snapshot Open accepted a delta file")
+	}
+	fullPath := filepath.Join(dir, "tiny.whpcsnap")
+	if err := WriteFile(fullPath, tinyDataset(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenDelta(fullPath); !errors.Is(err, ErrNoSection) {
+		t.Errorf("OpenDelta of a full snapshot: err = %v, want ErrNoSection", err)
+	}
+}
+
+// TestDeltaWriterRejectsFrames: a delta snapshot must not carry frames in
+// either add order — the point of a delta is that the base study's frames
+// are patched in place, not replaced.
+func TestDeltaWriterRejectsFrames(t *testing.T) {
+	info, mini := tinyDeltaMini()
+	fs := query.NewFrameSet(mini)
+
+	sw := NewWriter(&bytes.Buffer{})
+	if err := sw.AddDelta(info); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddFrames(fs); err == nil {
+		t.Error("AddFrames after AddDelta succeeded")
+	}
+
+	sw = NewWriter(&bytes.Buffer{})
+	if err := sw.AddFrames(fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddDelta(info); err == nil {
+		t.Error("AddDelta after AddFrames succeeded")
+	}
+}

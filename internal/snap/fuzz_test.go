@@ -11,19 +11,26 @@ import (
 // FuzzReader: arbitrary byte streams must never panic the snapshot
 // reader — every rejection is a structured *FormatError, and inputs that
 // pass validation must decode without panicking either. Seeds cover a
-// valid snapshot (with and without frames), its prefixes, and garbage.
+// valid snapshot (with and without frames), a delta snapshot, their
+// prefixes, and garbage.
 func FuzzReader(f *testing.F) {
 	d := tinyDataset()
-	var plain, withFrames bytes.Buffer
+	var plain, withFrames, asDelta bytes.Buffer
 	if err := Write(&plain, d, nil); err != nil {
 		f.Fatal(err)
 	}
 	if err := Write(&withFrames, d, query.NewFrameSet(d)); err != nil {
 		f.Fatal(err)
 	}
+	info, mini := tinyDeltaMini()
+	if err := WriteDelta(&asDelta, info, mini); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(plain.Bytes())
 	f.Add(withFrames.Bytes())
+	f.Add(asDelta.Bytes())
 	f.Add(plain.Bytes()[:len(plain.Bytes())/2])
+	f.Add(asDelta.Bytes()[:len(asDelta.Bytes())/2])
 	f.Add([]byte{})
 	f.Add([]byte(Magic))
 	f.Add([]byte("WHPCSNAP\x01\x00\x00\x00\xff\xff\xff\xff"))
@@ -38,11 +45,15 @@ func FuzzReader(f *testing.F) {
 			}
 			return
 		}
-		// Validated header and checksums; corpus and frame decoding must
-		// still tolerate structurally impossible payloads without panics.
+		// Validated header and checksums; corpus, frame, and delta
+		// decoding must still tolerate structurally impossible payloads
+		// without panics.
 		_, _ = r.Corpus()
 		if r.HasFrames() {
 			_, _ = r.Frames()
+		}
+		if r.IsDelta() {
+			_, _ = r.Delta()
 		}
 	})
 }

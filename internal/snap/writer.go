@@ -29,6 +29,7 @@ type Writer struct {
 	counts   [3]int // persons, conferences, papers (for the meta section)
 	corpus   bool
 	frames   bool
+	delta    bool
 	closed   bool
 }
 
@@ -77,6 +78,9 @@ func (sw *Writer) AddFrames(fs *query.FrameSet) error {
 	if sw.frames {
 		return fmt.Errorf("snap: AddFrames called twice")
 	}
+	if sw.delta {
+		return fmt.Errorf("snap: delta snapshots cannot carry frames")
+	}
 	if fs == nil {
 		return fmt.Errorf("snap: nil frame set")
 	}
@@ -101,6 +105,9 @@ func (sw *Writer) Close() error {
 	var flags uint64
 	if sw.frames {
 		flags |= flagHasFrames
+	}
+	if sw.delta {
+		flags |= flagIsDelta
 	}
 	meta.uvarint(flags)
 	meta.uvarint(uint64(sw.counts[0]))
@@ -191,4 +198,5 @@ func WriteFile(path string, d *dataset.Dataset, fs *query.FrameSet) error {
 const (
 	headerSize    = 16 // magic(8) + version(2) + reserved(2) + section count(4)
 	flagHasFrames = 1 << 0
+	flagIsDelta   = 1 << 1 // delta snapshot: one conference-year, no frames
 )

@@ -163,6 +163,26 @@ func ExhibitQueries() []ExhibitQuery {
 			},
 			Format: query.FormatCSV,
 		}},
+		{"retention", &query.Query{
+			Frame: query.FrameCohorts,
+			GroupBy: []query.Key{
+				{Col: "series"},
+				{Col: "year"},
+			},
+			Aggs: []query.Agg{
+				{Op: "count", As: "holders"},
+				{Op: "count", As: "women", Where: countWhere(female)},
+				{Op: "count", As: "observed", Where: countWhere(query.Pred{Col: "observed", Op: "eq", Value: true})},
+				{Op: "count", As: "returned", Where: countWhere(query.Pred{Col: "retained", Op: "eq", Value: true})},
+				{Op: "count", As: "women_returned", Where: countWhere(query.Pred{Col: "retained", Op: "eq", Value: true}, female)},
+				{Op: "ratio", Num: "retained", Den: "observed", As: "rate"},
+			},
+			OrderBy: []query.Order{
+				{Key: "series"},
+				{Key: "year"},
+			},
+			Format: query.FormatCSV,
+		}},
 	}
 }
 

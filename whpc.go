@@ -51,12 +51,15 @@ type Study struct {
 	harvest  *ingest.HarvestReport
 	baseline *dataset.Dataset
 	// framesOnce/frames lazily build the columnar FrameSet shared by every
-	// ad-hoc query (see Frames); exhibitsOnce/exhibitsByID lazily index the
-	// exhibit enumeration by ID for the serve path (see Exhibit).
+	// ad-hoc query (see Frames); exhibitsMu/exhibitsByID lazily index the
+	// exhibit enumeration by ID for the serve path (see Exhibit). ApplyDelta
+	// drops the exhibit index — its render closures capture the pre-delta
+	// dataset — and bumps revision, the counter serve-layer caches key on.
 	framesOnce   sync.Once
 	frames       *query.FrameSet
-	exhibitsOnce sync.Once
+	exhibitsMu   sync.Mutex
 	exhibitsByID map[string]Exhibit
+	revision     uint64
 }
 
 // NewStudy generates the paper's main 2017 nine-conference corpus with the
