@@ -1,0 +1,125 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/cite"
+	"repro/internal/shard"
+)
+
+// citeBenchOut, when set, makes TestWriteCiteBench measure the citation
+// subsystem with testing.Benchmark and write the results JSON there:
+//
+//	go test . -run TestWriteCiteBench -cite.bench BENCH_cite.json
+var citeBenchOut = flag.String("cite.bench", "", "write the citation benchmark JSON to this path")
+
+// citeBenchEntry is one measurement in BENCH_cite.json.
+type citeBenchEntry struct {
+	Workload    string  `json:"workload"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	Edges       int     `json:"edges"`
+	N           int     `json:"iterations"`
+}
+
+// TestWriteCiteBench regenerates BENCH_cite.json: citation-graph synthesis
+// throughput over the grown flagship corpus, plus the cite-gap exhibit
+// query single-process and scatter-gathered across a 4-shard federation
+// (asserting the two byte-identical before timing them). It is gated
+// behind -cite.bench so the regular test run stays fast; CI and re-anchors
+// invoke it explicitly.
+func TestWriteCiteBench(t *testing.T) {
+	if *citeBenchOut == "" {
+		t.Skip("-cite.bench not set")
+	}
+	st := deltaFix.resynth
+	d := st.Dataset()
+	edges := len(st.CitationGraph().Edges)
+	gap, ok := ExhibitQueryByName("cite_gap")
+	if !ok {
+		t.Fatal("no cite_gap exhibit query")
+	}
+
+	synth := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g := cite.Synthesize(d); len(g.Edges) != edges {
+				b.Fatalf("synthesized %d edges, want %d", len(g.Edges), edges)
+			}
+		}
+	})
+
+	single := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Query(gap.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	cluster, err := shard.New(shard.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Place("bench", st.Frames()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	wantRes, err := st.Query(gap.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := cluster.Query(ctx, "bench", gap.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, _ := wantRes.CSV()
+	gotCSV, _ := gotRes.CSV()
+	if !bytes.Equal(wantCSV, gotCSV) {
+		t.Fatal("4-shard cite_gap differs from single-process; refusing to benchmark a wrong answer")
+	}
+	sharded := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Query(ctx, "bench", gap.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	perSec := func(r testing.BenchmarkResult) float64 {
+		return float64(edges) / (float64(r.NsPerOp()) / 1e9)
+	}
+	entries := []citeBenchEntry{
+		{"cite_synthesize", synth.NsPerOp(), perSec(synth), edges, synth.N},
+		{"cite_gap_query_single", single.NsPerOp(), perSec(single), edges, single.N},
+		{"cite_gap_query_4shard", sharded.NsPerOp(), perSec(sharded), edges, sharded.N},
+	}
+	t.Logf("synthesize: %v; cite_gap single: %v; cite_gap 4-shard: %v over %d edges",
+		synth, single, sharded, edges)
+
+	doc := struct {
+		Suite      string           `json:"suite"`
+		GoVersion  string           `json:"go_version"`
+		GOMAXPROCS int              `json:"gomaxprocs"`
+		Corpus     string           `json:"corpus"`
+		Entries    []citeBenchEntry `json:"entries"`
+	}{
+		Suite:      "internal/cite citation-flow subsystem",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Corpus:     "synth.FlagshipSeries(2021) + SC'21 (grown flagship)",
+		Entries:    entries,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*citeBenchOut, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

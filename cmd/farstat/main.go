@@ -45,7 +45,7 @@ func main() {
 	snapIn := flag.String("snap", "", "corpus binary snapshot file")
 	deltaIn := flag.String("delta", "", "apply year-delta snapshots before computing (comma-separated files, in order)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
-	full := flag.Bool("full", false, "also print role, geography and sector breakdowns")
+	full := flag.Bool("full", false, "also print role, geography, sector and citation-flow breakdowns")
 	flag.Parse()
 	if (*dir == "") == (*snapIn == "") {
 		fmt.Fprintln(os.Stderr, "farstat: exactly one of -dir or -snap is required")
@@ -125,5 +125,9 @@ func run(w io.Writer, dir, snapIn, deltaIn string, asJSON, full bool) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return report.Fig8(w, d)
+	if err := report.Fig8(w, d); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return report.CitationFlow(w, d)
 }

@@ -54,6 +54,12 @@ func (s *Study) ApplyDeltaInjected(info snap.DeltaInfo, mini *dataset.Dataset, i
 	s.exhibitsMu.Lock()
 	s.exhibitsByID = nil
 	s.exhibitsMu.Unlock()
+	// Drop the memoized citation graph: the next CitationGraph call
+	// resynthesizes over the grown corpus, which extends the old graph
+	// edge-for-edge (the year precondition AppendConference verifies).
+	s.citeMu.Lock()
+	s.citeGraph = nil
+	s.citeMu.Unlock()
 	return nil
 }
 

@@ -91,6 +91,8 @@ func (s *Study) Exhibits() []Exhibit {
 			func(w io.Writer) error { return report.Subfields(w, d) }},
 		{"ext-cohort-retention", "Extension — cohort retention across editions",
 			func(w io.Writer) error { return report.CohortRetentionSection(w, d) }},
+		{"ext-citation-flow", "Extension — gendered citation flow",
+			func(w io.Writer) error { return report.CitationFlow(w, d) }},
 	}
 	if s.harvest != nil {
 		harvest, baseline := s.harvest, s.baseline

@@ -1,0 +1,206 @@
+package cite
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gender"
+	"repro/internal/synth"
+)
+
+var testData = func() *dataset.Dataset {
+	corpus, err := synth.Generate(synth.Default2017(2021))
+	if err != nil {
+		panic(err)
+	}
+	return corpus.Data
+}()
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(testData)
+	b := Synthesize(testData)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two syntheses of the same corpus differ")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("synthesized graph fails validation: %v", err)
+	}
+	if len(a.Edges) == 0 {
+		t.Fatal("synthesized graph has no edges")
+	}
+}
+
+func TestEdgesRespectPublicationOrder(t *testing.T) {
+	g := Synthesize(testData)
+	m := NewMeta(testData)
+	perPaper := make(map[int32]int)
+	for _, e := range g.Edges {
+		perPaper[e.Src]++
+		for _, target := range []int32{e.Dst, e.Null} {
+			src, dst := testData.Papers[e.Src], testData.Papers[target]
+			if src.Conf != dst.Conf && m.Year[target] >= m.Year[e.Src] {
+				t.Fatalf("edge %d→%d crosses to %s (%d) from %s (%d): not already published",
+					e.Src, target, dst.Conf, m.Year[target], src.Conf, m.Year[e.Src])
+			}
+		}
+	}
+	for src, n := range perPaper {
+		if n > maxOutDegree {
+			t.Fatalf("paper %d has out-degree %d > %d", src, n, maxOutDegree)
+		}
+	}
+}
+
+// TestConferenceEdgesMatchFullSynthesis is the delta guarantee at the
+// graph level: synthesizing the grown corpus equals synthesizing the base
+// and appending the new conference's edges.
+func TestConferenceEdgesMatchFullSynthesis(t *testing.T) {
+	cfg := synth.Default2017(2021)
+	spec, err := synth.YearSpec(cfg, "SC", 2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full, err := synth.GenerateYearDelta(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Synthesize(testData)
+	grown := Synthesize(full.Data)
+	tail := ConferenceEdges(full.Data, spec.ID)
+
+	want := append(append([]Edge(nil), base.Edges...), tail...)
+	if !reflect.DeepEqual(grown.Edges, want) {
+		t.Fatalf("grown synthesis (%d edges) != base (%d) + conference tail (%d)",
+			len(grown.Edges), len(base.Edges), len(tail))
+	}
+	if grown.Papers != len(full.Data.Papers) {
+		t.Fatalf("grown paper count %d != corpus %d", grown.Papers, len(full.Data.Papers))
+	}
+}
+
+// naiveAnalyze recomputes the imbalance ratios with plain maps and loops,
+// independent of Analyze's single-pass accumulation — the reference the
+// acceptance criteria require.
+func naiveAnalyze(d *dataset.Dataset, g *Graph) map[string][4]int {
+	// team → {observed female-led, observed known-led, null female-led, null known-led}
+	counts := make(map[string][4]int)
+	leadOf := func(i int32) gender.Gender {
+		p, ok := d.Person(d.Papers[i].Lead())
+		if !ok {
+			return gender.Unknown
+		}
+		return p.Gender
+	}
+	for _, e := range g.Edges {
+		team := TeamOf(d, d.Papers[e.Src])
+		for _, key := range []string{team, "ALL"} {
+			c := counts[key]
+			if lg := leadOf(e.Dst); lg.Known() {
+				c[1]++
+				if lg == gender.Female {
+					c[0]++
+				}
+			}
+			if lg := leadOf(e.Null); lg.Known() {
+				c[3]++
+				if lg == gender.Female {
+					c[2]++
+				}
+			}
+			counts[key] = c
+		}
+	}
+	return counts
+}
+
+func TestAnalyzeMatchesNaiveReference(t *testing.T) {
+	g := Synthesize(testData)
+	a, err := Analyze(testData, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := naiveAnalyze(testData, g)
+	check := func(f Flow) {
+		t.Helper()
+		c := ref[f.Team]
+		if f.Observed.K != c[0] || f.Observed.N != c[1] || f.Null.K != c[2] || f.Null.N != c[3] {
+			t.Errorf("%s: analyze {obs %d/%d null %d/%d} != naive {obs %d/%d null %d/%d}",
+				f.Team, f.Observed.K, f.Observed.N, f.Null.K, f.Null.N, c[0], c[1], c[2], c[3])
+		}
+		// The ratio must equal the naive quotient exactly — same integer
+		// inputs, same float64 division.
+		wantRatio := (float64(c[0]) / float64(c[1])) / (float64(c[2]) / float64(c[3]))
+		if got := f.OverCitation(); got != wantRatio && !(math.IsNaN(got) && math.IsNaN(wantRatio)) {
+			t.Errorf("%s: over-citation %v != naive %v", f.Team, got, wantRatio)
+		}
+	}
+	if len(a.Flows) != len(TeamCategories()) {
+		t.Fatalf("got %d flows, want %d", len(a.Flows), len(TeamCategories()))
+	}
+	for i, f := range a.Flows {
+		if f.Team != TeamCategories()[i] {
+			t.Fatalf("flow %d is %q, want %q", i, f.Team, TeamCategories()[i])
+		}
+		check(f)
+	}
+	check(a.Overall)
+}
+
+func TestCalibratedImbalanceDirection(t *testing.T) {
+	g := Synthesize(testData)
+	a, err := Analyze(testData, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make(map[string]Flow, len(a.Flows))
+	for _, f := range a.Flows {
+		flows[f.Team] = f
+	}
+	men, women := flows[TeamAllMen].OverCitation(), flows[TeamAllWomen].OverCitation()
+	if math.IsNaN(men) || math.IsNaN(women) {
+		t.Fatalf("undefined over-citation ratios: all_men=%v all_women=%v", men, women)
+	}
+	// The calibration points the same way Nakajima et al. report: all-men
+	// teams under-cite women-led work relative to all-women teams.
+	if men >= women {
+		t.Errorf("all_men over-citation %.4f >= all_women %.4f; calibration lost", men, women)
+	}
+}
+
+func TestDirectedMixingMatchesHandFormula(t *testing.T) {
+	g := Synthesize(testData)
+	a, err := Analyze(testData, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Mixing
+	if m.TotalEdges() == 0 {
+		t.Fatal("no gendered directed edges")
+	}
+	t1 := float64(m.TotalEdges())
+	aF := (float64(m.FF) + float64(m.FM)) / t1
+	bF := (float64(m.FF) + float64(m.MF)) / t1
+	aM, bM := 1-aF, 1-bF
+	want := ((float64(m.FF)+float64(m.MM))/t1 - (aF*bF + aM*bM)) / (1 - (aF*bF + aM*bM))
+	if math.Abs(m.Assortativity-want) > 1e-12 {
+		t.Errorf("assortativity %v != hand formula %v", m.Assortativity, want)
+	}
+}
+
+func TestValidateRejectsCorruptGraphs(t *testing.T) {
+	base := Synthesize(testData)
+	for name, mutate := range map[string]func(*Graph){
+		"out of range dst": func(g *Graph) { g.Edges[0].Dst = int32(g.Papers) },
+		"negative src":     func(g *Graph) { g.Edges[0].Src = -1 },
+		"self citation":    func(g *Graph) { g.Edges[0].Dst = g.Edges[0].Src },
+		"unsorted sources": func(g *Graph) { g.Edges[0], g.Edges[len(g.Edges)-1] = g.Edges[len(g.Edges)-1], g.Edges[0] },
+	} {
+		g := &Graph{Papers: base.Papers, Edges: append([]Edge(nil), base.Edges...)}
+		mutate(g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package collab
+
+import "fmt"
+
+// DirectedMixing is the gender mixing structure of a directed gendered
+// edge set, such as the citation graph's (citing lead → cited lead)
+// pairs. Edges with an unknown gender on either side are excluded, the
+// same convention MixingAnalysis applies to coauthorship.
+type DirectedMixing struct {
+	// Edge counts by (source gender, target gender): FM is a female-led
+	// source citing a male-led target, MF the reverse.
+	FF, FM, MF, MM int
+	// Assortativity is the directed Newman assortativity coefficient:
+	// positive means same-gender citation above what the source and
+	// target marginals predict (homophily), negative the reverse.
+	Assortativity float64
+}
+
+// TotalEdges returns the gendered directed-edge count.
+func (m DirectedMixing) TotalEdges() int { return m.FF + m.FM + m.MF + m.MM }
+
+// DirectedMixingAnalysis computes directed Newman assortativity from a
+// gender mixing matrix. For the directed mixing matrix e = counts/total,
+// with a_i the source-side marginals and b_i the target-side marginals:
+// r = (Σ_i e_ii − Σ_i a_i·b_i) / (1 − Σ_i a_i·b_i).
+func DirectedMixingAnalysis(ff, fm, mf, mm int) (DirectedMixing, error) {
+	m := DirectedMixing{FF: ff, FM: fm, MF: mf, MM: mm}
+	total := m.TotalEdges()
+	if total == 0 {
+		return m, fmt.Errorf("collab: no gendered directed edges")
+	}
+	t := float64(total)
+	aF := (float64(ff) + float64(fm)) / t // source marginal, female
+	aM := (float64(mf) + float64(mm)) / t
+	bF := (float64(ff) + float64(mf)) / t // target marginal, female
+	bM := (float64(fm) + float64(mm)) / t
+	diag := (float64(ff) + float64(mm)) / t
+	prod := aF*bF + aM*bM
+	if prod < 1 {
+		m.Assortativity = (diag - prod) / (1 - prod)
+	}
+	return m, nil
+}

@@ -33,7 +33,7 @@ func CtxFlowAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:  "ctxflow",
 		Doc:   "context.Context must be threaded through call paths, not rebuilt or stored",
-		Scope: []string{"internal/serve", "internal/query", "internal/ingest", "internal/shard", "internal/delta"},
+		Scope: []string{"internal/serve", "internal/query", "internal/ingest", "internal/shard", "internal/delta", "internal/cite"},
 		Run:   runCtxFlow,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cite"
 	"repro/internal/dataset"
 )
 
@@ -145,7 +146,10 @@ func personAppendSinks(a []*colAppender) personSinks {
 //     the people frame's sorted-by-ID row order stays append-only;
 //   - d's papers keep each conference's papers contiguous with the new
 //     conference's at the tail (true for the synthesizer and the delta
-//     merge path).
+//     merge path);
+//   - confID's year is no older than any existing conference's, so the
+//     appended papers cannot enter existing papers' citation candidate
+//     pools and the citations frame stays a pure tail append.
 //
 // A violated precondition returns an error with the frames untouched;
 // callers fall back to a full rebuild.
@@ -157,9 +161,15 @@ func (fs *FrameSet) AppendConference(d *dataset.Dataset, confID dataset.ConfID) 
 	if len(d.Conferences) == 0 || d.Conferences[len(d.Conferences)-1].ID != confID {
 		return fmt.Errorf("query: append: conference %q must be the last of the corpus", confID)
 	}
-	for _, name := range []string{FrameSlots, FramePeople, FrameMembers, FramePapers, FrameCohorts} {
+	for _, name := range []string{FrameSlots, FramePeople, FrameMembers, FramePapers, FrameCohorts, FrameCitations} {
 		if _, ok := fs.Frame(name); !ok {
 			return fmt.Errorf("query: append: frame %q missing (rebuilt from an older snapshot?)", name)
+		}
+	}
+	for _, bc := range d.Conferences[:len(d.Conferences)-1] {
+		if bc.Year > c.Year {
+			return fmt.Errorf("query: append: conference %q (%d) is older than existing %q (%d); citation pools of built rows would change",
+				confID, c.Year, bc.ID, bc.Year)
 		}
 	}
 	slots, _ := fs.Frame(FrameSlots)
@@ -212,7 +222,10 @@ func (fs *FrameSet) AppendConference(d *dataset.Dataset, confID dataset.ConfID) 
 	if err := fs.appendPapers(d, c); err != nil {
 		return err
 	}
-	return fs.appendCohorts(d, c)
+	if err := fs.appendCohorts(d, c); err != nil {
+		return err
+	}
+	return fs.appendCitations(d, c)
 }
 
 // confContribution returns, per person participating in conference c, the
@@ -412,5 +425,41 @@ func (fs *FrameSet) appendCohorts(d *dataset.Dataset, c *dataset.Conference) err
 		retained: a[10], observed: a[11],
 	}
 	f.NumRows += emitConfCohorts(d, c, s)
+	return nil
+}
+
+// appendCitations synthesizes only the appended conference's citation
+// edges (O(new edges) emission; pool scans see the whole corpus) and
+// appends them. Existing rows are untouched: the year precondition
+// guarantees no appended paper enters an existing paper's candidate pool,
+// so the result matches a full graph resynthesis edge-for-edge.
+func (fs *FrameSet) appendCitations(d *dataset.Dataset, c *dataset.Conference) error {
+	f, _ := fs.Frame(FrameCitations)
+	a, err := appenders(f,
+		"src_paper", "src_conf", "src_year",
+		"dst_paper", "dst_conf", "dst_year",
+		"team", "src_lead_gender", "dst_lead_gender",
+		"dst_lead_known", "dst_lead_female",
+		"same_conf", "cross_year",
+		"null_female", "null_known",
+		"src_region")
+	if err != nil {
+		return err
+	}
+	// A rebuild pre-seeds both conference dictionaries with every corpus
+	// conference; match it even when no appended edge touches the new one.
+	a[1].col.Dict.Code(string(c.ID))
+	a[4].col.Dict.Code(string(c.ID))
+	s := citeSinks{
+		srcPaper: a[0], srcConf: a[1], srcYear: a[2],
+		dstPaper: a[3], dstConf: a[4], dstYear: a[5],
+		team: a[6], srcLead: a[7], dstLead: a[8],
+		dstKnown: a[9], dstFemale: a[10],
+		sameConf: a[11], crossYear: a[12],
+		nullFemale: a[13], nullKnown: a[14],
+		region: a[15],
+	}
+	edges := cite.ConferenceEdges(d, c.ID)
+	f.NumRows += emitCitationEdges(d, cite.NewMeta(d), edges, s)
 	return nil
 }

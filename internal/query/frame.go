@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/affil"
+	"repro/internal/cite"
 	"repro/internal/countries"
 	"repro/internal/dataset"
 	"repro/internal/gender"
@@ -65,14 +66,15 @@ func newFrame(name string, n int, cols []*Column) *Frame {
 
 // Frame names exposed by a FrameSet.
 const (
-	FrameSlots   = "slots"   // one row per role slot, with repeats
-	FramePeople  = "people"  // one row per unique researcher
-	FrameMembers = "members" // one row per (researcher, author/PC population)
-	FramePapers  = "papers"  // one row per paper
-	FrameCohorts = "cohorts" // one row per (conference, unique participant)
+	FrameSlots     = "slots"     // one row per role slot, with repeats
+	FramePeople    = "people"    // one row per unique researcher
+	FrameMembers   = "members"   // one row per (researcher, author/PC population)
+	FramePapers    = "papers"    // one row per paper
+	FrameCohorts   = "cohorts"   // one row per (conference, unique participant)
+	FrameCitations = "citations" // one row per directed citation edge
 )
 
-// FrameSet is the columnar flattening of one corpus: the five frames every
+// FrameSet is the columnar flattening of one corpus: the six frames every
 // query runs over. Construction is deterministic — the same dataset always
 // yields byte-identical frames — and every frame's row order is
 // append-only in the conference dimension, so AppendConference can grow a
@@ -124,6 +126,7 @@ func NewFrameSet(d *dataset.Dataset) *FrameSet {
 		buildMembers(d),
 		buildPapers(d),
 		buildCohorts(d),
+		buildCitations(d),
 	}}
 }
 
@@ -686,4 +689,94 @@ func buildCohorts(d *dataset.Dataset) *Frame {
 	cols = append(cols, pc.finish(n)...)
 	cols = append(cols, retained.finish(n), observed.finish(n))
 	return newFrame(FrameCohorts, n, cols)
+}
+
+// citeSinks names the citations frame's columns in schema order.
+type citeSinks struct {
+	srcPaper, srcConf, srcYear colSink
+	dstPaper, dstConf, dstYear colSink
+	team, srcLead, dstLead     colSink
+	dstKnown, dstFemale        colSink
+	sameConf, crossYear        colSink
+	nullFemale, nullKnown      colSink
+	region                     colSink
+}
+
+// emitCitationEdges emits one row per citation edge — src attributes, dst
+// attributes, the citing-team category, and the paired null draw's gender
+// bits — and returns the row count. Shared between buildCitations and the
+// append path, which passes only the appended conference's edge tail.
+func emitCitationEdges(d *dataset.Dataset, m *cite.Meta, edges []cite.Edge, s citeSinks) int {
+	for _, e := range edges {
+		src, dst := d.Papers[e.Src], d.Papers[e.Dst]
+		s.srcPaper.addStr(string(src.ID))
+		s.srcConf.addStr(string(src.Conf))
+		s.srcYear.addInt(int64(m.Year[e.Src]))
+		s.dstPaper.addStr(string(dst.ID))
+		s.dstConf.addStr(string(dst.Conf))
+		s.dstYear.addInt(int64(m.Year[e.Dst]))
+		s.team.addStr(m.Team[e.Src])
+		s.srcLead.addStr(m.Lead[e.Src].String())
+		s.dstLead.addStr(m.Lead[e.Dst].String())
+		s.dstKnown.addBool(m.Lead[e.Dst].Known())
+		s.dstFemale.addBool(m.Lead[e.Dst] == gender.Female)
+		s.sameConf.addBool(src.Conf == dst.Conf)
+		s.crossYear.addBool(m.Year[e.Dst] != m.Year[e.Src])
+		s.nullFemale.addBool(m.Lead[e.Null] == gender.Female)
+		s.nullKnown.addBool(m.Lead[e.Null].Known())
+		if region := countries.SubregionOf(m.Country[e.Src]); region == "" {
+			s.region.addNull()
+		} else {
+			s.region.addStr(region)
+		}
+	}
+	return len(edges)
+}
+
+// buildCitations synthesizes the citation graph (internal/cite, a pure
+// function of the corpus) and emits one row per directed edge, in graph
+// order: source papers in corpus order, draws in selection order. Because
+// candidate pools only reach same-conference or earlier-year papers,
+// appending a newest-year conference contributes a pure tail block.
+func buildCitations(d *dataset.Dataset) *Frame {
+	g := cite.Synthesize(d)
+	m := cite.NewMeta(d)
+	srcConfIDs, _ := confDicts(d)
+	dstConfIDs, _ := confDicts(d)
+	srcPaper := newStrCol("src_paper", nil)
+	srcConf := newStrCol("src_conf", srcConfIDs)
+	srcYear := newIntCol("src_year")
+	dstPaper := newStrCol("dst_paper", nil)
+	dstConf := newStrCol("dst_conf", dstConfIDs)
+	dstYear := newIntCol("dst_year")
+	team := newStrCol("team", NewDict(cite.TeamCategories()...))
+	srcLead := newStrCol("src_lead_gender", NewDict("female", "male", "unknown"))
+	dstLead := newStrCol("dst_lead_gender", NewDict("female", "male", "unknown"))
+	dstKnown := newBoolCol("dst_lead_known")
+	dstFemale := newBoolCol("dst_lead_female")
+	sameConf := newBoolCol("same_conf")
+	crossYear := newBoolCol("cross_year")
+	nullFemale := newBoolCol("null_female")
+	nullKnown := newBoolCol("null_known")
+	region := newStrCol("src_region", nil)
+
+	s := citeSinks{
+		srcPaper: srcPaper, srcConf: srcConf, srcYear: srcYear,
+		dstPaper: dstPaper, dstConf: dstConf, dstYear: dstYear,
+		team: team, srcLead: srcLead, dstLead: dstLead,
+		dstKnown: dstKnown, dstFemale: dstFemale,
+		sameConf: sameConf, crossYear: crossYear,
+		nullFemale: nullFemale, nullKnown: nullKnown,
+		region: region,
+	}
+	n := emitCitationEdges(d, m, g.Edges, s)
+	return newFrame(FrameCitations, n, []*Column{
+		srcPaper.finish(n), srcConf.finish(n), srcYear.finish(n),
+		dstPaper.finish(n), dstConf.finish(n), dstYear.finish(n),
+		team.finish(n), srcLead.finish(n), dstLead.finish(n),
+		dstKnown.finish(n), dstFemale.finish(n),
+		sameConf.finish(n), crossYear.finish(n),
+		nullFemale.finish(n), nullKnown.finish(n),
+		region.finish(n),
+	})
 }

@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 
+	"repro/internal/cite"
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
@@ -25,6 +27,16 @@ type CSVExport struct {
 // fixed order. ExportCSVs and the whpcd CSV endpoint both iterate this
 // single list, so a new family added here appears in both automatically.
 func CSVExports(d *dataset.Dataset) []CSVExport {
+	// Both citation families analyze the same synthesized graph; build it
+	// at most once, and only if one of them actually renders.
+	var (
+		citeOnce sync.Once
+		citeG    *cite.Graph
+	)
+	citeGraph := func() *cite.Graph {
+		citeOnce.Do(func() { citeG = cite.Synthesize(d) })
+		return citeG
+	}
 	return []CSVExport{
 		{"far_per_conference", "Female author ratio per conference", func() ([][]string, error) { return farRows(d) }},
 		{"role_representation", "Representation of women by conference role", func() ([][]string, error) { return roleRows(d) }},
@@ -35,6 +47,8 @@ func CSVExports(d *dataset.Dataset) []CSVExport {
 		{"citations", "Per-paper citation reception", func() ([][]string, error) { return citationRows(d) }},
 		{"trend", "Flagship FAR time series", func() ([][]string, error) { return trendRows(d) }},
 		{"retention", "Cohort retention of role-holders across editions", func() ([][]string, error) { return retentionRows(d) }},
+		{"cite_flow", "Citation flow by citing-team gender composition", func() ([][]string, error) { return citeFlowRows(d, citeGraph()) }},
+		{"cite_gap", "Citation flow per conference-year", func() ([][]string, error) { return citeGapRows(d, citeGraph()) }},
 	}
 }
 

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// postCite drives one /v1/cite request through the full middleware chain.
+func postCite(t *testing.T, s *Server, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", target, strings.NewReader(body)))
+	return rec
+}
+
+// TestCiteByteIdentity: /v1/cite serves both views byte-identical to the
+// exhibit queries run directly against the same study, defaults to the
+// flow view, memoizes renders, and counts served views on
+// whpcd_cite_queries_total.
+func TestCiteByteIdentity(t *testing.T) {
+	study, err := repro.NewStudy(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, func(c *Config) { c.Metrics = obs.NewRegistry() })
+
+	for view, name := range citeViews {
+		cold := postCite(t, s, "/v1/cite", `{"view":"`+view+`"}`)
+		if cold.Code != http.StatusOK {
+			t.Fatalf("view %s: status = %d: %s", view, cold.Code, cold.Body.String())
+		}
+		if got := cold.Header().Get("X-Cache"); got != CacheMiss {
+			t.Errorf("view %s: cold X-Cache = %q, want %q", view, got, CacheMiss)
+		}
+		if ct := cold.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+			t.Errorf("view %s: Content-Type = %q, want text/csv", view, ct)
+		}
+		want := exhibitQueryCSV(t, study, name)
+		if !bytes.Equal(cold.Body.Bytes(), want) {
+			t.Errorf("view %s: /v1/cite differs from the direct %s exhibit query", view, name)
+		}
+		warm := postCite(t, s, "/v1/cite", `{"view":"`+view+`"}`)
+		if got := warm.Header().Get("X-Cache"); got != CacheHit {
+			t.Errorf("view %s: warm X-Cache = %q, want %q", view, got, CacheHit)
+		}
+		if !bytes.Equal(warm.Body.Bytes(), want) {
+			t.Errorf("view %s: cached /v1/cite differs from the cold render", view)
+		}
+	}
+
+	// The empty body defaults to the flow view.
+	def := postCite(t, s, "/v1/cite", "")
+	if def.Code != http.StatusOK {
+		t.Fatalf("default view: status = %d: %s", def.Code, def.Body.String())
+	}
+	if !bytes.Equal(def.Body.Bytes(), exhibitQueryCSV(t, study, "cite_flow")) {
+		t.Error("default /v1/cite differs from the flow view")
+	}
+
+	// 2 views x 2 requests + the default = 5 served renders.
+	if got := metricValue(t, s, "whpcd_cite_queries_total"); got != "5" {
+		t.Errorf("whpcd_cite_queries_total = %s, want 5", got)
+	}
+}
+
+// TestCiteUnknownView: an unrecognized view is the client's 400 with the
+// structured error envelope.
+func TestCiteUnknownView(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := postCite(t, s, "/v1/cite", `{"view":"sideways"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	dto := decodeQueryError(t, rec)
+	if !strings.Contains(dto.Error, "sideways") {
+		t.Errorf("error %q does not name the bad view", dto.Error)
+	}
+}
+
+// TestCiteClusterByteIdentical: the federated /v1/cite must serve exactly
+// the single-process bytes at every shard count — the citation exhibits
+// use only count and ratio aggregates, which merge exactly.
+func TestCiteClusterByteIdentical(t *testing.T) {
+	want := map[string][]byte{}
+	single := newTestServer(t, nil)
+	for view := range citeViews {
+		rec := postCite(t, single, "/v1/cite", `{"view":"`+view+`"}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("single-process view %s: status = %d: %s", view, rec.Code, rec.Body.String())
+		}
+		want[view] = rec.Body.Bytes()
+	}
+	for _, shards := range []int{1, 4} {
+		s := newTestServer(t, func(c *Config) {
+			c.ClusterShards = shards
+			c.Metrics = obs.NewRegistry()
+		})
+		for view := range citeViews {
+			rec := postCite(t, s, "/v1/cite", `{"view":"`+view+`"}`)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("shards=%d view %s: status = %d: %s", shards, view, rec.Code, rec.Body.String())
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want[view]) {
+				t.Errorf("shards=%d view %s: federated /v1/cite differs from single-process", shards, view)
+			}
+		}
+	}
+}
+
+// TestCiteDeltaApplied: a snapshot dir holding a base snapshot plus a year
+// delta must serve citation flows of the grown corpus — byte-identical to
+// a study resynthesized with the extra year.
+func TestCiteDeltaApplied(t *testing.T) {
+	dir := writeDeltaDir(t)
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Metrics = obs.NewRegistry()
+	})
+	grown := grownFlagship(t)
+	for view, name := range citeViews {
+		rec := postCite(t, s, "/v1/cite?corpus=flagship", `{"view":"`+view+`"}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("view %s: status = %d: %s", view, rec.Code, rec.Body.String())
+		}
+		if !bytes.Equal(rec.Body.Bytes(), exhibitQueryCSV(t, grown, name)) {
+			t.Errorf("view %s: /v1/cite differs from the resynthesized grown corpus", view)
+		}
+	}
+}

@@ -242,3 +242,107 @@ func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
 	}
 	_, _ = w.Write(out)
 }
+
+// citeRequestDTO selects which citation-flow view POST /v1/cite serves.
+type citeRequestDTO struct {
+	// View is "flow" (observed-versus-null citation flow per citing-team
+	// gender composition, the default) or "gap" (the same comparison per
+	// conference-year).
+	View string `json:"view"`
+}
+
+// citeViews maps each /v1/cite view to the exhibit query that serves it.
+// Both queries are verified byte-for-byte against their report CSV
+// families, so the route inherits the reproduction's correctness anchor.
+var citeViews = map[string]string{
+	"flow": "cite_flow",
+	"gap":  "cite_gap",
+}
+
+// handleCite serves POST /v1/cite: the gendered citation-flow workload as
+// CSV. The body is an optional JSON {"view": "flow"|"gap"}; an empty body
+// serves the flow view. Execution goes through runQuery, so in cluster
+// mode the citations frame scatter-gathers across the shard federation
+// and is byte-identical to the single-process path (the exhibits use only
+// count and ratio aggregates, which merge exactly). Results memoize
+// through the exhibit cache keyed by view and the revision-qualified
+// study identity, so applying a delta invalidates exactly the citation
+// renders whose inputs changed.
+func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
+	key, err := s.parseStudyKey(r)
+	if err != nil {
+		writeQueryError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeQueryError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("cite request exceeds %d bytes", maxQueryBytes))
+			return
+		}
+		writeQueryError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	view := "flow"
+	if len(bytes.TrimSpace(body)) > 0 {
+		var req citeRequestDTO
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeQueryError(w, http.StatusBadRequest, fmt.Sprintf("parsing cite request: %v", err))
+			return
+		}
+		if req.View != "" {
+			view = req.View
+		}
+	}
+	name, ok := citeViews[view]
+	if !ok {
+		writeQueryError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown cite view %q (have [flow gap])", view))
+		return
+	}
+	eq, ok := repro.ExhibitQueryByName(name)
+	if !ok {
+		writeQueryError(w, http.StatusInternalServerError,
+			fmt.Sprintf("exhibit query %q is not registered", name))
+		return
+	}
+	st, err := s.studies.Get(r.Context(), key)
+	if err != nil {
+		writeQueryError(w, errorStatus(err),
+			fmt.Sprintf("materializing study (%s): %v", key, err))
+		return
+	}
+
+	cacheKey := "cite|" + view + "|" + cacheID(key, st)
+	out, outcome, err := s.cache.Get(r.Context(), cacheKey, func(ctx context.Context) ([]byte, error) {
+		if injected, ferr := s.renderFault(ctx, chaos.PointRender); injected {
+			return nil, ferr
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		start := s.clock.Now()
+		defer func() { s.met.renders.ObserveDuration(s.clock.Now().Sub(start)) }()
+		res, err := s.runQuery(ctx, key, st, eq.Query)
+		if err != nil {
+			return nil, err
+		}
+		return res.CSV()
+	})
+	if err != nil {
+		writeQueryError(w, errorStatus(err), err.Error())
+		return
+	}
+	s.met.queries.With(eq.Query.Frame).Inc()
+	s.met.citeQueries.Inc()
+	h := w.Header()
+	h.Set("Content-Type", "text/csv; charset=utf-8")
+	h.Set("Content-Length", strconv.Itoa(len(out)))
+	h.Set("X-Cache", outcome)
+	if outcome == CacheStale {
+		h.Set("Warning", `110 whpcd "stale: re-render failed; bytes are from an earlier identical render"`)
+	}
+	_, _ = w.Write(out)
+}

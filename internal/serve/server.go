@@ -113,7 +113,8 @@ type metrics struct {
 	cacheMisses    *obs.Counter
 	cacheCoalesced *obs.Counter
 
-	queries *obs.CounterVec // frame
+	queries     *obs.CounterVec // frame
+	citeQueries *obs.Counter
 
 	harvestRetries  *obs.Counter
 	harvestOutcomes *obs.CounterVec // outcome
@@ -157,6 +158,8 @@ func newMetrics(r *obs.Registry) *metrics {
 		// executes successfully, and execution validates the frame name.
 		queries: r.CounterVec("whpcd_queries_total",
 			"Columnar queries answered successfully, by frame.", "frame"),
+		citeQueries: r.Counter("whpcd_cite_queries_total",
+			"Citation-flow views served successfully by POST /v1/cite."),
 		harvestRetries: r.Counter("whpcd_harvest_retries_total",
 			"Retried bibliometric lookup attempts across harvested-study materializations."),
 		harvestOutcomes: r.CounterVec("whpcd_harvest_outcomes_total",
@@ -305,6 +308,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/csv/{name}", s.handleCSV)
 	s.route("POST /v1/query", s.handleQuery)
 	s.route("POST /v1/trend", s.handleTrend)
+	s.route("POST /v1/cite", s.handleCite)
 	s.route("GET /metrics", cfg.Metrics.Handler().ServeHTTP)
 	s.route("GET /debug/vars", cfg.Metrics.VarsHandler().ServeHTTP)
 	return s, nil

@@ -1,0 +1,233 @@
+package snap
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chaos"
+	"repro/internal/cite"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// The citations section freezes the synthesized citation graph
+// (internal/cite) alongside the corpus, so a warm boot serves the
+// citation-flow workload without resynthesizing the graph. The section is
+// version-gated through the meta flags: a binary built before
+// flagHasCitations existed rejects citation-bearing snapshots as corrupt
+// (unknown flag bit) instead of silently dropping the graph, and the
+// reader here cross-checks flag against section presence both ways.
+// Delta snapshots never carry citations — the apply path regrows the
+// graph through FrameSet.AppendConference and resynthesis.
+
+// SectionCitations is the citation-graph section of a full snapshot.
+const SectionCitations = "citations"
+
+// encodeCitations serializes the edge list: paper count, edge count, then
+// per edge the source (delta-encoded against the previous edge's source —
+// sources are grouped non-decreasing by construction), target, and paired
+// null draw.
+func encodeCitations(g *cite.Graph) []byte {
+	e := &enc{}
+	e.uvarint(uint64(g.Papers))
+	e.uvarint(uint64(len(g.Edges)))
+	prev := int64(0)
+	for _, edge := range g.Edges {
+		e.uvarint(uint64(int64(edge.Src) - prev))
+		prev = int64(edge.Src)
+		e.uvarint(uint64(edge.Dst))
+		e.uvarint(uint64(edge.Null))
+	}
+	return e.bytesOut()
+}
+
+// decodeCitations parses and validates the citation section against the
+// meta section's paper count: every index in range, no self-citations,
+// sources non-decreasing.
+func decodeCitations(data []byte, papers int) (*cite.Graph, error) {
+	dc := newDec(SectionCitations, data)
+	gotPapers, err := dc.uvarint("citation paper count")
+	if err != nil {
+		return nil, err
+	}
+	if gotPapers != uint64(papers) {
+		return nil, dc.err(fmt.Sprintf("citation paper count %d disagrees with meta %d", gotPapers, papers), ErrCorrupt)
+	}
+	n, err := dc.length("citation edges", 3)
+	if err != nil {
+		return nil, err
+	}
+	g := &cite.Graph{Papers: papers, Edges: make([]cite.Edge, 0, n)}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		srcDelta, err := dc.uvarint("citation source")
+		if err != nil {
+			return nil, err
+		}
+		src := prev + srcDelta
+		prev = src
+		dst, err := dc.uvarint("citation target")
+		if err != nil {
+			return nil, err
+		}
+		null, err := dc.uvarint("citation null draw")
+		if err != nil {
+			return nil, err
+		}
+		if src >= uint64(papers) || dst >= uint64(papers) || null >= uint64(papers) {
+			return nil, dc.err(fmt.Sprintf("citation edge %d indexes out of range [0,%d)", i, papers), ErrCorrupt)
+		}
+		if src == dst {
+			return nil, dc.err(fmt.Sprintf("citation edge %d is a self-citation (paper %d)", i, src), ErrCorrupt)
+		}
+		g.Edges = append(g.Edges, cite.Edge{Src: int32(src), Dst: int32(dst), Null: int32(null)})
+	}
+	if err := dc.finished("citations"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// AddCitations encodes the corpus's citation graph. Optional; at most
+// once, after AddCorpus (the graph is validated against the corpus's
+// paper count), and never on a delta snapshot.
+func (sw *Writer) AddCitations(g *cite.Graph) error {
+	if sw.closed {
+		return fmt.Errorf("snap: AddCitations on closed Writer")
+	}
+	if sw.citations {
+		return fmt.Errorf("snap: AddCitations called twice")
+	}
+	if sw.delta {
+		return fmt.Errorf("snap: delta snapshots cannot carry citations")
+	}
+	if g == nil {
+		return fmt.Errorf("snap: nil citation graph")
+	}
+	if !sw.corpus {
+		return fmt.Errorf("snap: AddCitations before AddCorpus")
+	}
+	if g.Papers != sw.counts[2] {
+		return fmt.Errorf("snap: citation graph covers %d papers, corpus has %d", g.Papers, sw.counts[2])
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("snap: %w", err)
+	}
+	sw.sections = append(sw.sections, wsection{SectionCitations, encodeCitations(g)})
+	sw.citations = true
+	return nil
+}
+
+// HasCitations reports whether the snapshot carries a citation graph.
+func (r *Reader) HasCitations() bool { return r.meta.hasCitations }
+
+// Citations decodes the citation-graph section. It returns a *FormatError
+// wrapping ErrNoSection when the snapshot was written without one;
+// callers that treat the graph as optional should check HasCitations
+// first.
+func (r *Reader) Citations() (*cite.Graph, error) {
+	payload, ok := r.payloads[SectionCitations]
+	if !ok {
+		return nil, &FormatError{Section: SectionCitations, Msg: "snapshot was written without a citation graph", Err: ErrNoSection}
+	}
+	if err := r.chaosStep(SectionCitations); err != nil {
+		return nil, err
+	}
+	return decodeCitations(payload, r.meta.papers)
+}
+
+// WriteCited emits a complete snapshot of d, its frames (when non-nil),
+// and its citation graph (when non-nil) to w.
+func WriteCited(w io.Writer, d *dataset.Dataset, fs *query.FrameSet, g *cite.Graph) error {
+	sw := NewWriter(w)
+	if err := sw.AddCorpus(d); err != nil {
+		return err
+	}
+	if fs != nil {
+		if err := sw.AddFrames(fs); err != nil {
+			return err
+		}
+	}
+	if g != nil {
+		if err := sw.AddCitations(g); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// WriteCitedFile is WriteCited with WriteFile's atomic temp-and-rename
+// discipline.
+func WriteCitedFile(path string, d *dataset.Dataset, fs *query.FrameSet, g *cite.Graph) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//whpcvet:ignore errcheck best-effort cleanup of the temp file on the error paths; the success path renamed it away
+		os.Remove(tmp.Name())
+	}()
+	if err := WriteCited(tmp, d, fs, g); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCited decodes a complete snapshot from an io.Reader: the corpus,
+// the frames (nil when absent), and the citation graph (nil when absent).
+func ReadCited(rd io.Reader) (*dataset.Dataset, *query.FrameSet, *cite.Graph, error) {
+	r, err := ReadFrom(rd)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return decodeAll(r)
+}
+
+// OpenCited reads the snapshot at path and decodes its corpus, frames
+// (nil when absent), and citation graph (nil when absent).
+func OpenCited(path string) (*dataset.Dataset, *query.FrameSet, *cite.Graph, error) {
+	return OpenCitedInjected(path, chaos.None)
+}
+
+// OpenCitedInjected is OpenCited with a chaos injector, with OpenInjected's
+// fault surface (snap.read on arrival, snap.decode once per section).
+func OpenCitedInjected(path string, inj chaos.Injector) (*dataset.Dataset, *query.FrameSet, *cite.Graph, error) {
+	inj = chaos.Or(inj)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if f := inj.Fire(chaos.PointSnapRead); f != nil {
+		switch f.Kind {
+		case chaos.KindTorn:
+			// The tail never arrived; validation must reject the torn
+			// prefix like any truncated file.
+			n := len(data) - f.TornBytes
+			if n < 0 {
+				n = 0
+			}
+			data = data[:n]
+		default:
+			return nil, nil, nil, fmt.Errorf("%s: %w", path, chaos.Injected(chaos.PointSnapRead, f))
+		}
+	}
+	r, err := NewReaderInjected(data, inj)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	d, fs, g, err := decodeAll(r)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, fs, g, nil
+}

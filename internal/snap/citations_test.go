@@ -1,0 +1,234 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cite"
+	"repro/internal/query"
+)
+
+// citedSnapshot serializes tinyDataset with frames and its synthesized
+// citation graph, returning the bytes and the graph.
+func citedSnapshot(t testing.TB) ([]byte, *cite.Graph) {
+	t.Helper()
+	d := tinyDataset()
+	g := cite.Synthesize(d)
+	var buf bytes.Buffer
+	if err := WriteCited(&buf, d, query.NewFrameSet(d), g); err != nil {
+		t.Fatalf("WriteCited: %v", err)
+	}
+	return buf.Bytes(), g
+}
+
+func TestCitationsRoundTrip(t *testing.T) {
+	data, want := citedSnapshot(t)
+	if len(want.Edges) == 0 {
+		t.Fatal("tiny corpus synthesized no edges; round trip proves nothing")
+	}
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasCitations() {
+		t.Fatal("HasCitations = false on a cited snapshot")
+	}
+	got, err := r.Citations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded graph differs: got %d edges over %d papers, want %d over %d",
+			len(got.Edges), got.Papers, len(want.Edges), want.Papers)
+	}
+
+	d2, fs2, g2, err := ReadCited(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 == nil || fs2 == nil {
+		t.Fatal("ReadCited dropped the corpus or frames")
+	}
+	if !reflect.DeepEqual(g2, want) {
+		t.Fatal("ReadCited graph differs from the written one")
+	}
+}
+
+func TestCitedWriteDeterministic(t *testing.T) {
+	a, _ := citedSnapshot(t)
+	b, _ := citedSnapshot(t)
+	if !bytes.Equal(a, b) {
+		t.Error("two cited writes of the same corpus produced different bytes")
+	}
+}
+
+func TestCitedEveryByteFlipRejected(t *testing.T) {
+	data, _ := citedSnapshot(t)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		if _, err := NewReader(mut); err == nil {
+			t.Fatalf("NewReader accepted a cited snapshot with byte %d flipped", i)
+		}
+	}
+}
+
+func TestCitedTruncationsRejected(t *testing.T) {
+	data, _ := citedSnapshot(t)
+	for n := 0; n < len(data); n++ {
+		if _, err := NewReader(data[:n]); err == nil {
+			t.Fatalf("NewReader accepted a %d-byte prefix of a %d-byte cited snapshot", n, len(data))
+		}
+	}
+}
+
+func TestCitationsAbsent(t *testing.T) {
+	r, err := NewReader(tinySnapshot(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasCitations() {
+		t.Error("HasCitations = true on a plain snapshot")
+	}
+	if _, err := r.Citations(); !errors.Is(err, ErrNoSection) {
+		t.Errorf("Citations err = %v, want ErrNoSection", err)
+	}
+	// The cited read paths must tolerate citation-free snapshots: nil
+	// graph, no error.
+	d, _, g, err := ReadCited(bytes.NewReader(tinySnapshot(t, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || g != nil {
+		t.Errorf("ReadCited of a plain snapshot: corpus %v, graph %v; want corpus, nil graph", d != nil, g)
+	}
+}
+
+// TestCitationsSectionWithoutFlagRejected covers the version gate's
+// presence side: a citations section whose meta flag is missing must fail
+// validation, not decode silently.
+func TestCitationsSectionWithoutFlagRejected(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	sw := NewWriter(&buf)
+	if err := sw.AddCorpus(d); err != nil {
+		t.Fatal(err)
+	}
+	// Smuggle the section past Close without setting sw.citations, so the
+	// meta flag bit stays clear.
+	sw.sections = append(sw.sections, wsection{SectionCitations, encodeCitations(cite.Synthesize(d))})
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewReader(buf.Bytes())
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt for citations section without flag", err)
+	}
+}
+
+func TestCitationsWriterMisuse(t *testing.T) {
+	d := tinyDataset()
+	g := cite.Synthesize(d)
+
+	sw := NewWriter(&bytes.Buffer{})
+	if err := sw.AddCitations(g); err == nil {
+		t.Error("AddCitations before AddCorpus succeeded")
+	}
+	if err := sw.AddCorpus(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddCitations(nil); err == nil {
+		t.Error("AddCitations(nil) succeeded")
+	}
+	if err := sw.AddCitations(&cite.Graph{Papers: len(d.Papers) + 1}); err == nil {
+		t.Error("AddCitations with wrong paper count succeeded")
+	}
+	bad := &cite.Graph{Papers: len(d.Papers), Edges: []cite.Edge{{Src: 0, Dst: 0}}}
+	if err := sw.AddCitations(bad); err == nil {
+		t.Error("AddCitations with an invalid graph succeeded")
+	}
+	if err := sw.AddCitations(g); err != nil {
+		t.Fatalf("first valid AddCitations failed: %v", err)
+	}
+	if err := sw.AddCitations(g); err == nil {
+		t.Error("second AddCitations succeeded")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddCitations(g); err == nil {
+		t.Error("AddCitations on closed Writer succeeded")
+	}
+
+	// Delta snapshots and citations are mutually exclusive, both ways.
+	info, mini := tinyDeltaMini()
+	dw := NewWriter(&bytes.Buffer{})
+	if err := dw.AddDelta(info); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.AddCorpus(mini); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.AddCitations(cite.Synthesize(mini)); err == nil {
+		t.Error("AddCitations on a delta snapshot succeeded")
+	}
+	cw := NewWriter(&bytes.Buffer{})
+	if err := cw.AddCorpus(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.AddCitations(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.AddDelta(info); err == nil {
+		t.Error("AddDelta after AddCitations succeeded")
+	}
+}
+
+// TestDecodeCitationsRejectsCorruptPayloads drives the payload validator
+// directly with structurally impossible inputs that a checksum cannot
+// catch (the bytes are internally consistent, just wrong).
+func TestDecodeCitationsRejectsCorruptPayloads(t *testing.T) {
+	const papers = 3
+	encode := func(gotPapers int, edges [][3]uint64) []byte {
+		e := &enc{}
+		e.uvarint(uint64(gotPapers))
+		e.uvarint(uint64(len(edges)))
+		for _, ed := range edges {
+			e.uvarint(ed[0])
+			e.uvarint(ed[1])
+			e.uvarint(ed[2])
+		}
+		return e.bytesOut()
+	}
+	cases := map[string][]byte{
+		"paper count mismatch": encode(papers+1, nil),
+		"dst out of range":     encode(papers, [][3]uint64{{0, uint64(papers), 1}}),
+		"null out of range":    encode(papers, [][3]uint64{{0, 1, uint64(papers)}}),
+		"src out of range":     encode(papers, [][3]uint64{{uint64(papers), 1, 1}}),
+		"self citation":        encode(papers, [][3]uint64{{0, 0, 1}}),
+		"trailing bytes":       append(encode(papers, nil), 0x00),
+		"truncated edge":       encode(papers, nil)[:1],
+	}
+	for name, payload := range cases {
+		g, err := decodeCitations(payload, papers)
+		if err == nil {
+			t.Errorf("%s: decode succeeded with %d edges", name, len(g.Edges))
+			continue
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v (%T) is not a *FormatError", name, err, err)
+		}
+	}
+	// A valid payload with delta-encoded sources decodes to absolute ones.
+	g, err := decodeCitations(encode(papers, [][3]uint64{{0, 1, 2}, {2, 0, 1}}), papers)
+	if err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	want := []cite.Edge{{Src: 0, Dst: 1, Null: 2}, {Src: 2, Dst: 0, Null: 1}}
+	if !reflect.DeepEqual(g.Edges, want) {
+		t.Errorf("decoded edges %v, want %v", g.Edges, want)
+	}
+}

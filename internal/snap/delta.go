@@ -87,6 +87,9 @@ func (sw *Writer) AddDelta(info DeltaInfo) error {
 	if sw.frames {
 		return fmt.Errorf("snap: delta snapshots cannot carry frames")
 	}
+	if sw.citations {
+		return fmt.Errorf("snap: delta snapshots cannot carry citations")
+	}
 	if info.ConfID == "" {
 		return fmt.Errorf("snap: delta conference ID is empty")
 	}

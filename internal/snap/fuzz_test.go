@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/cite"
 	"repro/internal/query"
 )
 
@@ -15,7 +16,7 @@ import (
 // prefixes, and garbage.
 func FuzzReader(f *testing.F) {
 	d := tinyDataset()
-	var plain, withFrames, asDelta bytes.Buffer
+	var plain, withFrames, asDelta, cited bytes.Buffer
 	if err := Write(&plain, d, nil); err != nil {
 		f.Fatal(err)
 	}
@@ -26,11 +27,16 @@ func FuzzReader(f *testing.F) {
 	if err := WriteDelta(&asDelta, info, mini); err != nil {
 		f.Fatal(err)
 	}
+	if err := WriteCited(&cited, d, query.NewFrameSet(d), cite.Synthesize(d)); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(plain.Bytes())
 	f.Add(withFrames.Bytes())
 	f.Add(asDelta.Bytes())
+	f.Add(cited.Bytes())
 	f.Add(plain.Bytes()[:len(plain.Bytes())/2])
 	f.Add(asDelta.Bytes()[:len(asDelta.Bytes())/2])
+	f.Add(cited.Bytes()[:len(cited.Bytes())/2])
 	f.Add([]byte{})
 	f.Add([]byte(Magic))
 	f.Add([]byte("WHPCSNAP\x01\x00\x00\x00\xff\xff\xff\xff"))
@@ -54,6 +60,9 @@ func FuzzReader(f *testing.F) {
 		}
 		if r.IsDelta() {
 			_, _ = r.Delta()
+		}
+		if r.HasCitations() {
+			_, _ = r.Citations()
 		}
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"repro/internal/chaos"
+	"repro/internal/cite"
 	"repro/internal/dataset"
 	"repro/internal/query"
 )
@@ -30,6 +31,7 @@ type Reader struct {
 type metaInfo struct {
 	hasFrames                    bool
 	isDelta                      bool
+	hasCitations                 bool
 	persons, conferences, papers int
 }
 
@@ -43,6 +45,7 @@ var knownSections = map[string]bool{
 	SectionPapers:      true,
 	SectionFrames:      true,
 	SectionDelta:       true,
+	SectionCitations:   true,
 }
 
 // NewReader validates data as a complete snapshot and returns a Reader
@@ -139,8 +142,15 @@ func NewReaderInjected(data []byte, inj chaos.Injector) (*Reader, error) {
 	if gotDelta != r.meta.isDelta {
 		return nil, fileErr(int64(headerSize), fmt.Sprintf("meta delta flag %v disagrees with delta section presence %v", r.meta.isDelta, gotDelta), ErrCorrupt)
 	}
+	_, gotCitations := r.payloads[SectionCitations]
+	if gotCitations != r.meta.hasCitations {
+		return nil, fileErr(int64(headerSize), fmt.Sprintf("meta citations flag %v disagrees with citations section presence %v", r.meta.hasCitations, gotCitations), ErrCorrupt)
+	}
 	if r.meta.isDelta && r.meta.hasFrames {
 		return nil, fileErr(int64(headerSize), "delta snapshot carries a frames section", ErrCorrupt)
+	}
+	if r.meta.isDelta && r.meta.hasCitations {
+		return nil, fileErr(int64(headerSize), "delta snapshot carries a citations section", ErrCorrupt)
 	}
 	return r, nil
 }
@@ -178,11 +188,12 @@ func (r *Reader) decodeMeta() error {
 	if err != nil {
 		return err
 	}
-	if flags&^uint64(flagHasFrames|flagIsDelta) != 0 {
+	if flags&^uint64(flagHasFrames|flagIsDelta|flagHasCitations) != 0 {
 		return dc.err(fmt.Sprintf("unknown flag bits %#x", flags), ErrCorrupt)
 	}
 	r.meta.hasFrames = flags&flagHasFrames != 0
 	r.meta.isDelta = flags&flagIsDelta != 0
+	r.meta.hasCitations = flags&flagHasCitations != 0
 	counts := [3]*int{&r.meta.persons, &r.meta.conferences, &r.meta.papers}
 	names := [3]string{"person", "conference", "paper"}
 	for i, dst := range counts {
@@ -278,34 +289,8 @@ func Open(path string) (*dataset.Dataset, *query.FrameSet, error) {
 // every other kind fails the read typed) and at the snap.decode point
 // once per decoded section. Production callers use Open.
 func OpenInjected(path string, inj chaos.Injector) (*dataset.Dataset, *query.FrameSet, error) {
-	inj = chaos.Or(inj)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	if f := inj.Fire(chaos.PointSnapRead); f != nil {
-		switch f.Kind {
-		case chaos.KindTorn:
-			// The tail never arrived; validation must reject the torn
-			// prefix like any truncated file.
-			n := len(data) - f.TornBytes
-			if n < 0 {
-				n = 0
-			}
-			data = data[:n]
-		default:
-			return nil, nil, fmt.Errorf("%s: %w", path, chaos.Injected(chaos.PointSnapRead, f))
-		}
-	}
-	r, err := NewReaderInjected(data, inj)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
-	}
-	d, fs, err := decodeAll(r)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return d, fs, nil
+	d, fs, _, err := OpenCitedInjected(path, inj)
+	return d, fs, err
 }
 
 // Read decodes a complete snapshot from an io.Reader: the corpus and,
@@ -315,19 +300,21 @@ func Read(rd io.Reader) (*dataset.Dataset, *query.FrameSet, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return decodeAll(r)
+	d, fs, _, err := decodeAll(r)
+	return d, fs, err
 }
 
-func decodeAll(r *Reader) (*dataset.Dataset, *query.FrameSet, error) {
+func decodeAll(r *Reader) (*dataset.Dataset, *query.FrameSet, *cite.Graph, error) {
 	if r.IsDelta() {
-		return nil, nil, &FormatError{Section: SectionDelta, Msg: "snapshot is a delta, not a full corpus; apply it through OpenDelta and internal/delta", Err: ErrCorrupt}
+		return nil, nil, nil, &FormatError{Section: SectionDelta, Msg: "snapshot is a delta, not a full corpus; apply it through OpenDelta and internal/delta", Err: ErrCorrupt}
 	}
 	// The frames section decodes concurrently with the corpus: the two
 	// payloads are independent and together dominate warm-boot latency.
 	// decodeFrames is a pure function of its payload; the frames chaos
 	// step still fires on this goroutine after the corpus steps, so a
 	// scheduled injector sees the exact hit ordinals of a sequential
-	// decode.
+	// decode. The citation graph decodes last (it is tiny next to the
+	// other sections), keeping pre-citation chaos hit ordinals intact.
 	payload, hasFrames := r.payloads[SectionFrames]
 	var (
 		fs    *query.FrameSet
@@ -345,18 +332,23 @@ func decodeAll(r *Reader) (*dataset.Dataset, *query.FrameSet, error) {
 	d, err := r.Corpus()
 	if err != nil {
 		<-done
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if !hasFrames {
-		return d, nil, nil
-	}
-	if err := r.chaosStep(SectionFrames); err != nil {
-		<-done
-		return nil, nil, err
+	if hasFrames {
+		if err := r.chaosStep(SectionFrames); err != nil {
+			<-done
+			return nil, nil, nil, err
+		}
 	}
 	<-done
 	if fsErr != nil {
-		return nil, nil, fsErr
+		return nil, nil, nil, fsErr
 	}
-	return d, fs, nil
+	var g *cite.Graph
+	if r.HasCitations() {
+		if g, err = r.Citations(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return d, fs, g, nil
 }

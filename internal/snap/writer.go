@@ -24,13 +24,14 @@ import (
 //	sw.AddFrames(study.Frames()) // optional
 //	err := sw.Close()
 type Writer struct {
-	dst      io.Writer
-	sections []wsection
-	counts   [3]int // persons, conferences, papers (for the meta section)
-	corpus   bool
-	frames   bool
-	delta    bool
-	closed   bool
+	dst       io.Writer
+	sections  []wsection
+	counts    [3]int // persons, conferences, papers (for the meta section)
+	corpus    bool
+	frames    bool
+	delta     bool
+	citations bool
+	closed    bool
 }
 
 type wsection struct {
@@ -108,6 +109,9 @@ func (sw *Writer) Close() error {
 	}
 	if sw.delta {
 		flags |= flagIsDelta
+	}
+	if sw.citations {
+		flags |= flagHasCitations
 	}
 	meta.uvarint(flags)
 	meta.uvarint(uint64(sw.counts[0]))
@@ -196,7 +200,8 @@ func WriteFile(path string, d *dataset.Dataset, fs *query.FrameSet) error {
 }
 
 const (
-	headerSize    = 16 // magic(8) + version(2) + reserved(2) + section count(4)
-	flagHasFrames = 1 << 0
-	flagIsDelta   = 1 << 1 // delta snapshot: one conference-year, no frames
+	headerSize       = 16 // magic(8) + version(2) + reserved(2) + section count(4)
+	flagHasFrames    = 1 << 0
+	flagIsDelta      = 1 << 1 // delta snapshot: one conference-year, no frames
+	flagHasCitations = 1 << 2 // carries a citation-graph section
 )

@@ -163,6 +163,42 @@ func ExhibitQueries() []ExhibitQuery {
 			},
 			Format: query.FormatCSV,
 		}},
+		{"cite_flow", &query.Query{
+			Frame:   query.FrameCitations,
+			GroupBy: []query.Key{{Col: "team"}},
+			Aggs: []query.Agg{
+				{Op: "count", As: "edges"},
+				{Op: "count", As: "women_cited", Where: countWhere(query.Pred{Col: "dst_lead_female", Op: "eq", Value: true})},
+				{Op: "count", As: "known_cited", Where: countWhere(query.Pred{Col: "dst_lead_known", Op: "eq", Value: true})},
+				{Op: "ratio", Num: "dst_lead_female", Den: "dst_lead_known", As: "observed_share"},
+				{Op: "count", As: "null_women", Where: countWhere(query.Pred{Col: "null_female", Op: "eq", Value: true})},
+				{Op: "count", As: "null_known", Where: countWhere(query.Pred{Col: "null_known", Op: "eq", Value: true})},
+				{Op: "ratio", Num: "null_female", Den: "null_known", As: "null_share"},
+			},
+			Totals:   "ALL",
+			Complete: true,
+			Format:   query.FormatCSV,
+		}},
+		{"cite_gap", &query.Query{
+			Frame: query.FrameCitations,
+			GroupBy: []query.Key{
+				{Col: "src_conf", As: "conference"},
+				{Col: "src_year", As: "year"},
+			},
+			Aggs: []query.Agg{
+				{Op: "count", As: "edges"},
+				{Op: "count", As: "women_cited", Where: countWhere(query.Pred{Col: "dst_lead_female", Op: "eq", Value: true})},
+				{Op: "count", As: "known_cited", Where: countWhere(query.Pred{Col: "dst_lead_known", Op: "eq", Value: true})},
+				{Op: "ratio", Num: "dst_lead_female", Den: "dst_lead_known", As: "observed_share"},
+				{Op: "count", As: "null_women", Where: countWhere(query.Pred{Col: "null_female", Op: "eq", Value: true})},
+				{Op: "count", As: "null_known", Where: countWhere(query.Pred{Col: "null_known", Op: "eq", Value: true})},
+				{Op: "ratio", Num: "null_female", Den: "null_known", As: "null_share"},
+			},
+			OrderBy: []query.Order{
+				{Key: "conference", Appearance: true},
+			},
+			Format: query.FormatCSV,
+		}},
 		{"retention", &query.Query{
 			Frame: query.FrameCohorts,
 			GroupBy: []query.Key{

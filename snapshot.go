@@ -4,34 +4,36 @@ import (
 	"io"
 
 	"repro/internal/chaos"
+	"repro/internal/cite"
 	"repro/internal/dataset"
 	"repro/internal/query"
 	"repro/internal/snap"
 )
 
-// WriteSnapshot serializes the study's corpus and its columnar FrameSet
-// (built first if it has not been yet) into the binary .whpcsnap format.
-// A study opened from the snapshot produces byte-identical reports and
-// query results (see TestSnapshotRoundTripReport).
+// WriteSnapshot serializes the study's corpus, its columnar FrameSet, and
+// its citation graph (each built first if it has not been yet) into the
+// binary .whpcsnap format. A study opened from the snapshot produces
+// byte-identical reports and query results (see
+// TestSnapshotRoundTripReport).
 func (s *Study) WriteSnapshot(w io.Writer) error {
-	return snap.Write(w, s.data, s.Frames())
+	return snap.WriteCited(w, s.data, s.Frames(), s.CitationGraph())
 }
 
 // SaveSnapshot writes the snapshot atomically to path; a crash mid-write
 // never leaves a partial file behind.
 func (s *Study) SaveSnapshot(path string) error {
-	return snap.WriteFile(path, s.data, s.Frames())
+	return snap.WriteCitedFile(path, s.data, s.Frames(), s.CitationGraph())
 }
 
 // OpenSnapshot reads a snapshot written by WriteSnapshot from r. The
 // snapshot is fully validated (checksums, format version, structural
 // invariants, dataset referential integrity) before a Study is returned.
 func OpenSnapshot(r io.Reader) (*Study, error) {
-	d, fs, err := snap.Read(r)
+	d, fs, g, err := snap.ReadCited(r)
 	if err != nil {
 		return nil, err
 	}
-	return studyFromSnapshot(d, fs), nil
+	return studyFromSnapshot(d, fs, g), nil
 }
 
 // OpenSnapshotFile reads a snapshot file written by SaveSnapshot. Errors
@@ -47,19 +49,23 @@ func OpenSnapshotFile(path string) (*Study, error) {
 // synthesis — never to a wrong answer — under torn reads and injected
 // decode faults; production callers use OpenSnapshotFile.
 func OpenSnapshotFileInjected(path string, inj chaos.Injector) (*Study, error) {
-	d, fs, err := snap.OpenInjected(path, inj)
+	d, fs, g, err := snap.OpenCitedInjected(path, inj)
 	if err != nil {
 		return nil, err
 	}
-	return studyFromSnapshot(d, fs), nil
+	return studyFromSnapshot(d, fs, g), nil
 }
 
-func studyFromSnapshot(d *dataset.Dataset, fs *query.FrameSet) *Study {
+func studyFromSnapshot(d *dataset.Dataset, fs *query.FrameSet, g *cite.Graph) *Study {
 	s := &Study{data: d, scID: findSC(d)}
 	if fs != nil {
 		// Install the deserialized FrameSet where the lazy builder would
 		// have put it; Frames() then returns it without rebuilding.
 		s.framesOnce.Do(func() { s.frames = fs })
 	}
+	// Likewise for the citation graph; snapshots written before the
+	// citations section existed leave it nil and CitationGraph
+	// resynthesizes (deterministically identical).
+	s.citeGraph = g
 	return s
 }

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cite"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faulty"
@@ -60,6 +61,11 @@ type Study struct {
 	exhibitsMu   sync.Mutex
 	exhibitsByID map[string]Exhibit
 	revision     uint64
+	// citeMu/citeGraph lazily hold the synthesized citation graph (see
+	// CitationGraph). ApplyDelta drops it — the next use resynthesizes
+	// over the grown corpus, which by construction extends the old graph.
+	citeMu    sync.Mutex
+	citeGraph *cite.Graph
 }
 
 // NewStudy generates the paper's main 2017 nine-conference corpus with the
@@ -313,6 +319,27 @@ func (s *Study) TrendRegressions() ([]core.TrendRegression, error) {
 // gender mixing, collaborator counts and team sizes.
 func (s *Study) Collaboration() (core.CollaborationAnalysis, error) {
 	return core.CollaborationPatterns(s.data)
+}
+
+// CitationGraph returns the study's synthesized citation graph, built
+// lazily on first use (or installed from a snapshot) and shared by every
+// subsequent citation analysis. Synthesis is a pure function of the
+// corpus, so a cached graph is indistinguishable from a fresh one.
+func (s *Study) CitationGraph() *cite.Graph {
+	s.citeMu.Lock()
+	defer s.citeMu.Unlock()
+	if s.citeGraph == nil {
+		s.citeGraph = cite.Synthesize(s.data)
+	}
+	return s.citeGraph
+}
+
+// CitationFlow computes the gendered citation-flow analysis over the
+// citation graph: observed vs null-model female-led citation shares per
+// citing-team category, Nakajima-style over/under-citation ratios, and
+// directed lead-gender assortativity.
+func (s *Study) CitationFlow() (cite.Analysis, error) {
+	return cite.Analyze(s.data, s.CitationGraph())
 }
 
 // Multiplicity applies the Holm-Bonferroni correction across the paper's
